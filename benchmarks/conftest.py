@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs one paper experiment end to end inside the
+deterministic simulator. Since a run is itself a full simulation (not
+a microsecond-scale kernel), every benchmark uses a single
+pedantic round; the interesting output is the experiment table, which
+is echoed so `pytest benchmarks/ --benchmark-only -s` regenerates the
+paper's numbers.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def echo(capsys):
+    """Print an experiment table even under captured output."""
+
+    def _echo(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+    return _echo

@@ -1,0 +1,17 @@
+"""The reproduction scorecard: every headline claim must pass."""
+
+from repro.bench import verify_claims
+from repro.bench.claims import render_outcomes
+
+
+def test_all_headline_claims_reproduce(benchmark, echo):
+    outcomes = benchmark.pedantic(verify_claims, args=("quick",), rounds=1, iterations=1)
+    import io
+
+    class _Box:
+        def render(self):
+            return render_outcomes(outcomes)
+
+    echo(_Box())
+    failing = [o.claim.claim_id for o in outcomes if not o.passed]
+    assert not failing, f"claims failed: {failing}"

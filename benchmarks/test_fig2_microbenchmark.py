@@ -1,0 +1,44 @@
+"""Figure 2 — H2D memcpy latency/throughput microbenchmark.
+
+Regenerates the paper's table: CC-disabled vs CC-enabled latency and
+throughput at 32 B / 128 KB / 1 MB / 32 MB. The calibrated model must
+match the paper's measurements closely (they are its calibration
+source), so this bench doubles as a calibration regression test.
+"""
+
+import pytest
+
+from repro.bench import fig2_microbenchmark
+from conftest import run_once
+
+#: Paper values: size -> (latency_us, throughput_gbps or None).
+PAPER_CC_DISABLED = {
+    "32B": (1.43, None),
+    "128KB": (1.17, 27.16),
+    "1MB": (1.19, 48.2),
+    "32MB": (1.43, 55.31),
+}
+PAPER_CC_ENABLED = {
+    "32B": (14.93, None),
+    "128KB": (22.809, 3.32),
+    "1MB": (162.5, 5.82),
+    "32MB": (5252.1, 5.83),
+}
+
+
+def test_fig2_microbenchmark(benchmark, echo):
+    result = run_once(benchmark, fig2_microbenchmark, "quick")
+    echo(result)
+
+    for system, paper in (("w/o CC", PAPER_CC_DISABLED), ("CC", PAPER_CC_ENABLED)):
+        for size, (latency_us, throughput) in paper.items():
+            row = result.find(size=size, system=system)
+            assert row["latency_us"] == pytest.approx(latency_us, rel=0.35)
+            if throughput is not None:
+                assert row["throughput_gbps"] == pytest.approx(throughput, rel=0.2)
+
+    # The headline shape: CC costs about an order of magnitude of
+    # bandwidth on large transfers.
+    ncc = result.find(size="32MB", system="w/o CC")["throughput_gbps"]
+    cc = result.find(size="32MB", system="CC")["throughput_gbps"]
+    assert 6 < ncc / cc < 14

@@ -1,0 +1,54 @@
+"""Figure 3 — the confidential-computing overhead study (§3).
+
+Three sub-figures, each comparing "CC" against "w/o CC":
+
+* 3a — FlexGen OPT-66B model offloading (paper: up to 88.2 % drop)
+* 3b — vLLM OPT-30B KV swapping (latency diverges with request rate)
+* 3c — PEFT fine-tuning (36.2 % drop on OPT-30B, 14.0 % on OPT-13B)
+"""
+
+import pytest
+
+from repro.bench import (
+    fig3a_flexgen_overhead,
+    fig3b_vllm_overhead,
+    fig3c_peft_overhead,
+)
+from conftest import run_once
+
+
+def test_fig3a_flexgen(benchmark, echo):
+    result = run_once(benchmark, fig3a_flexgen_overhead, "quick")
+    echo(result)
+    drops = [row["drop_pct"] for row in result.select(system="CC")]
+    # Paper: 82.8 %–88.2 % across configurations.
+    assert all(75 < drop < 95 for drop in drops)
+    assert max(drops) == pytest.approx(88.2, abs=4.0)
+
+
+def test_fig3b_vllm(benchmark, echo):
+    result = run_once(benchmark, fig3b_vllm_overhead, "quick")
+    echo(result)
+    rates = sorted({row["rate"] for row in result.rows})
+    low, high = rates[0], rates[-1]
+    # At low rate there is no memory pressure: CC ≈ w/o CC (§3).
+    cc_low = result.find(rate=low, system="CC")["norm_latency_s_tok"]
+    ncc_low = result.find(rate=low, system="w/o CC")["norm_latency_s_tok"]
+    assert cc_low == pytest.approx(ncc_low, rel=0.05)
+    # At high rate swapping kicks in and CC's latency diverges.
+    cc_high = result.find(rate=high, system="CC")["norm_latency_s_tok"]
+    ncc_high = result.find(rate=high, system="w/o CC")["norm_latency_s_tok"]
+    assert cc_high > 1.3 * ncc_high
+    # Swapping is the cause: the high-rate rows actually swapped.
+    assert result.find(rate=high, system="CC")["swap_ins"] > 0
+
+
+def test_fig3c_peft(benchmark, echo):
+    result = run_once(benchmark, fig3c_peft_overhead, "quick")
+    echo(result)
+    drop_30b = result.find(model="opt-30b", system="CC")["drop_pct"]
+    drop_13b = result.find(model="opt-13b", system="CC")["drop_pct"]
+    # Paper: 36.2 % and 14.0 %.
+    assert drop_30b == pytest.approx(36.2, abs=8.0)
+    assert drop_13b == pytest.approx(14.0, abs=6.0)
+    assert drop_13b < drop_30b

@@ -1,0 +1,34 @@
+"""Figure 7 — model offloading with PipeLLM (§7.2).
+
+FlexGen (OPT-66B and 4-bit OPT-175B) and PEFT (OPT-30B/13B) across
+w/o CC / CC / PipeLLM. Headline claims to reproduce:
+
+* CC costs 82.8–88.2 % of FlexGen's throughput and up to 36.2 % of
+  PEFT's;
+* PipeLLM cuts the overhead to below 19.6 % everywhere.
+"""
+
+from repro.bench import fig7_model_offloading
+from conftest import run_once
+
+
+def test_fig7_model_offloading(benchmark, echo):
+    result = run_once(benchmark, fig7_model_offloading, "quick")
+    echo(result)
+
+    flexgen_cc = [
+        row["overhead_pct"]
+        for row in result.select(system="CC")
+        if row["workload"].startswith("flexgen")
+    ]
+    assert all(70 < overhead < 95 for overhead in flexgen_cc)
+
+    pipellm = [row["overhead_pct"] for row in result.select(system="PipeLLM")]
+    assert all(overhead < 19.6 for overhead in pipellm), pipellm
+
+    # PipeLLM strictly dominates CC in every configuration.
+    for row in result.select(system="PipeLLM"):
+        cc_row = result.find(
+            workload=row["workload"], config=row["config"], system="CC"
+        )
+        assert row["throughput_tok_s"] > cc_row["throughput_tok_s"]

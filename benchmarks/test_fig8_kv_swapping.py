@@ -1,0 +1,49 @@
+"""Figure 8 — vLLM KV-cache swapping with PipeLLM (§7.2).
+
+Normalized latency vs request rate for OPT-30B (ShareGPT + Alpaca)
+and OPT-13B (ShareGPT), comparing w/o CC / CC / PipeLLM with one
+encryption and one decryption thread, as in the paper. Shape targets:
+
+* no divergence while there is no memory pressure;
+* under pressure CC blows up (33.3–52.8 % on OPT-30B in the paper)
+  and PipeLLM lands between w/o CC and CC;
+* prediction success stays near 100 % (LIFO-friendly workload);
+* OPT-13B suffers less than OPT-30B (32.5 % vs 75 % of GPU memory).
+"""
+
+from repro.bench import fig8_kv_swapping
+from conftest import run_once
+
+
+def test_fig8_kv_swapping(benchmark, echo):
+    result = run_once(benchmark, fig8_kv_swapping, "quick")
+    echo(result)
+
+    # System ordering at every measured point under pressure.
+    for row in result.select(system="CC"):
+        if row["overhead_pct"] < 10:
+            continue  # No pressure at this rate: nothing to compare.
+        pipe = result.find(
+            model=row["model"], dataset=row["dataset"], rate=row["rate"],
+            system="PipeLLM",
+        )
+        assert pipe["norm_latency_s_tok"] < row["norm_latency_s_tok"]
+
+    # Prediction success stays high wherever swapping happened.
+    success = [
+        row["success_rate"]
+        for row in result.select(system="PipeLLM")
+        if isinstance(row["success_rate"], float) and row["overhead_pct"] > 10
+    ]
+    assert all(rate > 0.85 for rate in success), success
+
+    # Every parallel-n sweep of 30B/ShareGPT diverges under load.
+    for parallel in (2, 4, 6):
+        cc_rows = result.select(
+            model="opt-30b", dataset="sharegpt", parallel=parallel, system="CC"
+        )
+        assert max(row["overhead_pct"] for row in cc_rows) > 30
+
+    # p90 tail latencies are reported and at least the means.
+    for row in result.rows:
+        assert row["p90_latency_s_tok"] >= row["norm_latency_s_tok"] * 0.99

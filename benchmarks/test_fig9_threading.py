@@ -1,0 +1,29 @@
+"""Figure 9 — trivial multi-threading vs pipelining (§7.3).
+
+The paper's point: "CC-4t" (4 crypto threads, no pipelining) narrows
+the gap but PipeLLM with only 2 threads still outperforms it — the
+win comes from taking encryption off the critical path, not from raw
+thread count.
+"""
+
+from repro.bench import fig9_threading
+from conftest import run_once
+
+
+def test_fig9_threading(benchmark, echo):
+    result = run_once(benchmark, fig9_threading, "quick")
+    echo(result)
+
+    base = result.find(system="w/o CC")["norm_latency_s_tok"]
+    cc = result.find(system="CC")["norm_latency_s_tok"]
+    cc4t = result.find(system="CC-4t")["norm_latency_s_tok"]
+    pipe = result.find(system="PipeLLM")["norm_latency_s_tok"]
+
+    # More threads help the CC baseline...
+    assert cc4t < cc
+    # ...but PipeLLM with 2 threads beats CC-4t with 8.
+    assert pipe < cc4t
+    assert result.find(system="PipeLLM")["crypto_threads"] == 2
+    assert result.find(system="CC-4t")["crypto_threads"] == 8
+    # And nobody beats the unencrypted baseline.
+    assert base <= pipe

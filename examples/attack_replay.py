@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Why swap data cannot simply be re-sent: the replay-attack demo (§8.2).
+
+The paper discusses an obvious "optimization": swap data is read-only
+on the CPU, so why not keep the encrypted copy and re-send it instead
+of re-encrypting? Answer: the incrementing-IV AES-GCM channel exists
+precisely to kill replay and reordering, and this demo shows each
+attack failing against the functional channel model — and then shows
+PipeLLM doing the job *properly*, with a fresh IV per transfer, at
+full speed.
+
+Run:  python examples/attack_replay.py
+"""
+
+from repro import CcMode, PipeLLMRuntime, build_machine
+from repro.crypto import AuthenticationError, EncryptedMessage, SecureSession
+from repro.hw import MB, MemoryChunk
+
+
+def attack_demos():
+    cpu, gpu = SecureSession(key=bytes(range(16))).endpoints()
+
+    print("1. Replay: attacker captures a ciphertext and re-injects it.")
+    message = cpu.encrypt_next(b"proprietary-fine-tuned-weights")
+    gpu.decrypt_next(message)  # legitimate delivery
+    try:
+        gpu.decrypt_next(message)
+        raise SystemExit("REPLAY SUCCEEDED — this must never print")
+    except AuthenticationError:
+        print("   -> rejected (the GPU's IV advanced; the old tag cannot verify)\n")
+
+    print("2. Reorder: attacker delivers transfer #2 before transfer #1.")
+    cpu2, gpu2 = SecureSession(key=bytes(range(16))).endpoints()
+    first = cpu2.encrypt_next(b"first")
+    second = cpu2.encrypt_next(b"second")
+    try:
+        gpu2.decrypt_next(second)
+        raise SystemExit("REORDER SUCCEEDED — this must never print")
+    except AuthenticationError:
+        print("   -> rejected (tag binds ciphertext to its IV position)\n")
+
+    print("3. Tamper: attacker flips one ciphertext bit in shared memory.")
+    cpu3, gpu3 = SecureSession(key=bytes(range(16))).endpoints()
+    msg = cpu3.encrypt_next(b"user prompt: quarterly numbers...")
+    flipped = EncryptedMessage(
+        bytes([msg.ciphertext[0] ^ 1]) + msg.ciphertext[1:],
+        msg.tag, msg.sender_iv, msg.nbytes_logical,
+    )
+    try:
+        gpu3.decrypt_next(flipped)
+        raise SystemExit("TAMPER SUCCEEDED — this must never print")
+    except AuthenticationError:
+        print("   -> rejected (GHASH covers every ciphertext bit)\n")
+
+
+def pipellm_does_it_right():
+    print("4. PipeLLM: same chunk transferred twice, re-encrypted each time.")
+    machine = build_machine(CcMode.ENABLED, enc_threads=2, dec_threads=2)
+    runtime = PipeLLMRuntime(machine)
+    region = machine.host_memory.allocate(64 * MB, "kv.0", b"read-only swap data")
+    ciphertexts = []
+
+    def app():
+        for _ in range(2):
+            handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(region.addr))
+            yield handle.complete
+            # Peek at the last h2d record's functional ciphertext via
+            # the session (illustrative only).
+            ciphertexts.append(machine.cpu_endpoint.tx_iv.current)
+
+    machine.sim.process(app())
+    machine.run()
+    assert machine.gpu.auth_failures == 0
+    print("   -> both transfers authenticated; the channel consumed IVs "
+          f"{ciphertexts[0] - 1} and {ciphertexts[1] - 1}")
+    print("   -> identical plaintext, two different IVs, two different "
+          "ciphertexts: nothing for an attacker to correlate or replay")
+
+
+def main():
+    attack_demos()
+    pipellm_does_it_right()
+
+
+if __name__ == "__main__":
+    main()

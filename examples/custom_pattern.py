@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Extending PipeLLM with a new swap pattern (§5.1's extension point).
+
+The paper: "PipeLLM's predictor is general and can easily extend to
+other patterns. To implement a new pattern, one needs to recognize the
+pattern from the history and write a prediction function given the
+current swapping states."
+
+This example serves a (hypothetical) system that swaps chunks in a
+*strided* order — every second chunk, then the others — which none of
+the built-in hypotheses (repetitive/FIFO/LIFO/Markov over a churning
+pool) nails from the pool alone. We write a ``StrideDetector``,
+register it, and watch it win the hypothesis race.
+
+Run:  python examples/custom_pattern.py
+"""
+
+from repro import CcMode, PipeLLMRuntime, build_machine
+from repro.core import SwapClass
+from repro.core.patterns import PatternDetector
+from repro.hw import MB, MemoryChunk
+
+CHUNK = 8 * MB
+CHUNKS = 8
+
+
+class StrideDetector(PatternDetector):
+    """Predicts swap-ins at a fixed address stride.
+
+    Recognition: fit a stride to the last few swap-ins (wrapping over
+    the observed address set); prediction: continue it.
+    """
+
+    name = "stride"
+
+    def __init__(self):
+        self._history = []
+        self._known = []
+        self._hits = 0
+        self._graded = 0
+
+    # -- PatternDetector interface -------------------------------------
+
+    def observe_swap_out(self, key):
+        if key not in self._known:
+            self._known.append(key)
+
+    def observe_swap_in(self, key):
+        prediction = self.predict(1)
+        if prediction:
+            self._graded += 1
+            if prediction[0] == key:
+                self._hits += 1
+        self._history.append(key)
+
+    @property
+    def score(self):
+        return self._hits / self._graded if self._graded else 0.0
+
+    def _stride(self):
+        if len(self._history) < 3 or len(self._known) < 2:
+            return None
+        addrs = sorted(k[0] for k in self._known)
+        index = {addr: i for i, addr in enumerate(addrs)}
+        positions = [index.get(k[0]) for k in self._history[-3:]]
+        if None in positions:
+            return None
+        step1 = (positions[1] - positions[0]) % len(addrs)
+        step2 = (positions[2] - positions[1]) % len(addrs)
+        return step1 if step1 == step2 and step1 != 0 else None
+
+    def predict(self, count):
+        stride = self._stride()
+        if stride is None or not self._history:
+            return []
+        addrs = sorted(k[0] for k in self._known)
+        size = self._known[0][1]
+        index = {addr: i for i, addr in enumerate(addrs)}
+        position = index.get(self._history[-1][0])
+        if position is None:
+            return []
+        out = []
+        for _ in range(count):
+            position = (position + stride) % len(addrs)
+            out.append((addrs[position], size))
+        return out
+
+
+def build_and_run(register_stride):
+    machine = build_machine(CcMode.ENABLED, enc_threads=4, dec_threads=2)
+    runtime = PipeLLMRuntime(machine)
+    if register_stride:
+        # The one-line extension point: add the hypothesis to the race.
+        runtime.predictor._detectors[SwapClass.KV_CACHE].append(StrideDetector())
+
+    regions = []
+    for i in range(CHUNKS):
+        region = machine.host_memory.allocate(CHUNK, f"chunk.{i}", f"c{i}".encode())
+        machine.gpu._contents[f"chunk.{i}"] = f"c{i}".encode()
+        regions.append(region)
+
+    # Strided access: 0, 3, 6, 1, 4, 7, 2, 5, 0, ... (stride 3 mod 8).
+    order = [(3 * i) % CHUNKS for i in range(CHUNKS * 6)]
+
+    def app(sim):
+        # Make all chunks known via one swap-out pass.
+        for region in regions:
+            handle = runtime.memcpy_d2h(MemoryChunk(region.addr, CHUNK, b"", region.tag))
+            yield handle.api_done
+        yield runtime.synchronize()
+        yield sim.timeout(0.1)
+        # Strided swap-in traffic.
+        for index in order:
+            region = regions[index]
+            yield runtime.cpu_access(region.addr)
+            handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(region.addr))
+            yield handle.api_done
+            yield runtime.synchronize()
+            yield sim.timeout(1e-3)
+
+    machine.sim.process(app(machine.sim))
+    machine.run()
+    assert machine.gpu.auth_failures == 0
+    return runtime
+
+
+def main():
+    baseline = build_and_run(register_stride=False)
+    extended = build_and_run(register_stride=True)
+
+    print("hypothesis scores after the strided workload (with stride):")
+    for name, score in sorted(extended.predictor.scores().items()):
+        if name.startswith("kv_cache"):
+            print(f"  {name:<22} {score:.2f}")
+
+    base_stats = baseline.stats()
+    ext_stats = extended.stats()
+    print(f"\nmisses without StrideDetector: {base_stats['misses']:.0f} "
+          f"of {base_stats['swap_requests']:.0f}")
+    print(f"misses with    StrideDetector: {ext_stats['misses']:.0f} "
+          f"of {ext_stats['swap_requests']:.0f}")
+    print("\nThe built-in repetitive hypothesis eventually learns any "
+          "periodic order, but it needs a full period of history; the "
+          "stride hypothesis locks on after three observations, so the "
+          "cold-start misses shrink.")
+    assert extended.predictor.scores()["kv_cache.stride"] > 0.95
+    assert ext_stats["misses"] <= base_stats["misses"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim: enables offline editable installs (no wheel available)."""
+from setuptools import setup
+
+setup()

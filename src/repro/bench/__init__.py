@@ -1,0 +1,66 @@
+"""Benchmark harness: system registry, experiment runners, tables."""
+
+from .ablations import (
+    ablation_async_decrypt,
+    ablation_enc_threads,
+    ablation_kv_depth,
+    ablation_leeway,
+)
+from .experiments import (
+    FULL,
+    QUICK,
+    Scale,
+    fig10_success_rate,
+    fig2_microbenchmark,
+    fig3a_flexgen_overhead,
+    fig3b_vllm_overhead,
+    fig3c_peft_overhead,
+    fig7_model_offloading,
+    fig8_kv_swapping,
+    fig9_threading,
+    run_flexgen,
+    run_peft,
+    run_vllm,
+)
+from .systems import CC, SystemSpec, WITHOUT_CC, cc_threads, pipellm, pipellm_zero
+from .claims import CLAIMS, Claim, ClaimOutcome, verify_claims
+from .extensions import extension_layerwise_fifo, extension_zero_offload
+from .teeio import TEEIO_LINE_RATE, extension_teeio_scaling, teeio_params
+from .tables import ExperimentResult
+
+__all__ = [
+    "CC",
+    "ablation_async_decrypt",
+    "ablation_enc_threads",
+    "ablation_kv_depth",
+    "ablation_leeway",
+    "CLAIMS",
+    "Claim",
+    "ClaimOutcome",
+    "verify_claims",
+    "ExperimentResult",
+    "FULL",
+    "QUICK",
+    "Scale",
+    "SystemSpec",
+    "WITHOUT_CC",
+    "cc_threads",
+    "fig10_success_rate",
+    "fig2_microbenchmark",
+    "fig3a_flexgen_overhead",
+    "fig3b_vllm_overhead",
+    "fig3c_peft_overhead",
+    "fig7_model_offloading",
+    "fig8_kv_swapping",
+    "fig9_threading",
+    "extension_teeio_scaling",
+    "extension_layerwise_fifo",
+    "extension_zero_offload",
+    "teeio_params",
+    "TEEIO_LINE_RATE",
+    "pipellm",
+    "pipellm_zero",
+    "run_flexgen",
+    "run_peft",
+    "run_vllm",
+]

@@ -1,0 +1,196 @@
+"""The paper's headline claims as executable checks.
+
+Each :class:`Claim` names a quantitative statement from the paper, the
+experiment that reproduces it, and a checker over the experiment's
+rows. ``verify_claims()`` runs each referenced experiment once and
+reports, per claim, the measured value next to the paper's — the
+reproduction's scorecard, runnable as ``python -m repro claims``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .experiments import (
+    fig10_success_rate,
+    fig2_microbenchmark,
+    fig3a_flexgen_overhead,
+    fig3c_peft_overhead,
+    fig7_model_offloading,
+    fig8_kv_swapping,
+    fig9_threading,
+)
+from .tables import ExperimentResult
+
+__all__ = ["Claim", "ClaimOutcome", "CLAIMS", "verify_claims"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable statement from the paper."""
+
+    claim_id: str
+    statement: str          # The paper's words (condensed).
+    paper_value: str        # What the paper measured.
+    experiment: Callable    # Which experiment reproduces it.
+    check: Callable[[ExperimentResult], Tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    claim: Claim
+    passed: bool
+    measured: str
+
+
+# -- checkers -----------------------------------------------------------------
+
+
+def _check_fig2_collapse(result: ExperimentResult):
+    ncc = result.find(size="32MB", system="w/o CC")["throughput_gbps"]
+    cc = result.find(size="32MB", system="CC")["throughput_gbps"]
+    ratio = ncc / cc
+    return 6 <= ratio <= 14, f"{ncc:.1f} vs {cc:.1f} GB/s ({ratio:.1f}x)"
+
+
+def _check_fig3a_drop(result: ExperimentResult):
+    drops = [row["drop_pct"] for row in result.select(system="CC")]
+    return 80 <= max(drops) <= 95, f"max drop {max(drops):.1f} %"
+
+
+def _check_fig3c_drops(result: ExperimentResult):
+    d30 = result.find(model="opt-30b", system="CC")["drop_pct"]
+    d13 = result.find(model="opt-13b", system="CC")["drop_pct"]
+    ok = abs(d30 - 36.2) < 8 and abs(d13 - 14.0) < 6 and d13 < d30
+    return ok, f"{d30:.1f} % / {d13:.1f} %"
+
+
+def _check_fig7_bound(result: ExperimentResult):
+    overheads = [row["overhead_pct"] for row in result.select(system="PipeLLM")]
+    return max(overheads) < 19.6, f"max PipeLLM overhead {max(overheads):.1f} %"
+
+
+def _check_fig8_ordering(result: ExperimentResult):
+    violations = 0
+    pressured = 0
+    for row in result.select(system="CC"):
+        if row["overhead_pct"] < 10:
+            continue
+        pressured += 1
+        pipe = result.find(
+            model=row["model"], dataset=row["dataset"],
+            parallel=row["parallel"], rate=row["rate"], system="PipeLLM",
+        )
+        if pipe["norm_latency_s_tok"] >= row["norm_latency_s_tok"]:
+            violations += 1
+    return (
+        pressured > 0 and violations == 0,
+        f"{pressured} pressured points, {violations} ordering violations",
+    )
+
+
+def _check_fig8_success(result: ExperimentResult):
+    rates = [
+        row["success_rate"]
+        for row in result.select(system="PipeLLM")
+        if isinstance(row["success_rate"], float) and row["overhead_pct"] > 10
+    ]
+    if not rates:
+        return False, "no pressured points"
+    return min(rates) > 0.85, f"min success rate {min(rates):.1%}"
+
+
+def _check_fig9_pipelining(result: ExperimentResult):
+    cc4t = result.find(system="CC-4t")["norm_latency_s_tok"]
+    pipe = result.find(system="PipeLLM")["norm_latency_s_tok"]
+    return pipe < cc4t, f"PipeLLM {pipe:.3f} vs CC-4t {cc4t:.3f} s/tok"
+
+
+def _check_fig10_penalty(result: ExperimentResult):
+    penalty = result.find(system="PipeLLM-0")["vs_pipellm_pct"]
+    return penalty < 15, f"PipeLLM-0 penalty {penalty:.1f} %"
+
+
+CLAIMS: List[Claim] = [
+    Claim(
+        "cc-io-collapse",
+        "CC-enabled H2D throughput is ~an order of magnitude below native",
+        "55.31 vs 5.83 GB/s at 32 MB (Fig. 2)",
+        fig2_microbenchmark,
+        _check_fig2_collapse,
+    ),
+    Claim(
+        "flexgen-drop",
+        "CC drops FlexGen OPT-66B serving throughput catastrophically",
+        "82.8–88.2 % (Fig. 3a)",
+        fig3a_flexgen_overhead,
+        _check_fig3a_drop,
+    ),
+    Claim(
+        "peft-drop",
+        "CC drops fine-tuning throughput, worse for larger models",
+        "36.2 % (OPT-30B), 14.0 % (OPT-13B) (Fig. 3c)",
+        fig3c_peft_overhead,
+        _check_fig3c_drops,
+    ),
+    Claim(
+        "pipellm-offload-bound",
+        "PipeLLM keeps model-offloading overhead below 19.6 %",
+        "<19.6 % across 13B–175B (abstract, Fig. 7)",
+        fig7_model_offloading,
+        _check_fig7_bound,
+    ),
+    Claim(
+        "pipellm-kv-ordering",
+        "Under KV-swap pressure PipeLLM always beats CC",
+        "5.2–14.2 % vs 33.3–52.8 % overhead (Fig. 8)",
+        fig8_kv_swapping,
+        _check_fig8_ordering,
+    ),
+    Claim(
+        "prediction-success",
+        "Prediction success stays near 100 % on vLLM (LIFO policy)",
+        "near 100 % (§7.2)",
+        fig8_kv_swapping,
+        _check_fig8_success,
+    ),
+    Claim(
+        "pipelining-beats-threads",
+        "PipeLLM with 2 threads outperforms non-pipelined CC with 4",
+        "Fig. 9",
+        fig9_threading,
+        _check_fig9_pipelining,
+    ),
+    Claim(
+        "misprediction-cheap",
+        "Zero sequence-prediction success costs only a few percent",
+        "8.3 % drop for PipeLLM-0 (Fig. 10)",
+        fig10_success_rate,
+        _check_fig10_penalty,
+    ),
+]
+
+
+def verify_claims(scale="quick") -> List[ClaimOutcome]:
+    """Run every claim's experiment (each once) and evaluate."""
+    cache: Dict[Callable, ExperimentResult] = {}
+    outcomes: List[ClaimOutcome] = []
+    for claim in CLAIMS:
+        if claim.experiment not in cache:
+            cache[claim.experiment] = claim.experiment(scale)
+        passed, measured = claim.check(cache[claim.experiment])
+        outcomes.append(ClaimOutcome(claim, passed, measured))
+    return outcomes
+
+
+def render_outcomes(outcomes: List[ClaimOutcome]) -> str:
+    lines = []
+    for outcome in outcomes:
+        mark = "PASS" if outcome.passed else "FAIL"
+        lines.append(f"[{mark}] {outcome.claim.claim_id}: {outcome.claim.statement}")
+        lines.append(f"       paper:    {outcome.claim.paper_value}")
+        lines.append(f"       measured: {outcome.measured}")
+    passed = sum(1 for o in outcomes if o.passed)
+    lines.append(f"{passed}/{len(outcomes)} claims reproduced")
+    return "\n".join(lines)

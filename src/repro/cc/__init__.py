@@ -1,0 +1,15 @@
+"""NVIDIA-CC-style secure channel: machine assembly + CUDA-like API."""
+
+from .api import CudaContext, DeviceRuntime, TransferHandle, TransferRecord
+from .machine import CcMode, Machine, build_attested_machine, build_machine
+
+__all__ = [
+    "CcMode",
+    "CudaContext",
+    "DeviceRuntime",
+    "Machine",
+    "TransferHandle",
+    "TransferRecord",
+    "build_attested_machine",
+    "build_machine",
+]

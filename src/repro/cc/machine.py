@@ -1,0 +1,133 @@
+"""Assembly of one simulated testbed: CVM + H100 enclave.
+
+A :class:`Machine` wires together the simulator, host memory, PCIe
+link, CPU crypto engine, GPU enclave and (when CC is enabled) the
+secure session endpoints with synchronized IV streams. Every
+experiment builds exactly one machine and runs one serving engine on
+it, so machines are cheap, isolated, and deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..crypto import (
+    GOLDEN_MEASUREMENTS,
+    GpuDevice,
+    RootOfTrust,
+    SecureSession,
+    SessionEndpoint,
+    SessionHandshake,
+)
+from ..hw import CryptoEngine, DmaStaging, GpuEnclave, HardwareParams, HostMemory, default_params
+from ..sim import MetricSet, Simulator
+from ..hw.pcie import PcieLink
+
+__all__ = ["CcMode", "Machine", "build_attested_machine", "build_machine"]
+
+#: Deterministic session key for reproducible functional traces.
+_DEFAULT_KEY = bytes(range(16))
+
+
+class CcMode(enum.Enum):
+    """Whether NVIDIA Confidential Computing is active on the GPU."""
+
+    DISABLED = "disabled"
+    ENABLED = "enabled"
+
+
+class Machine:
+    """One CVM-plus-GPU testbed instance."""
+
+    def __init__(
+        self,
+        cc_mode: CcMode,
+        params: Optional[HardwareParams] = None,
+        enc_threads: int = 1,
+        dec_threads: int = 1,
+        key: bytes = _DEFAULT_KEY,
+        session: Optional[SecureSession] = None,
+    ) -> None:
+        self.params = params or default_params()
+        self.cc_mode = cc_mode
+        self.sim = Simulator()
+        self.metrics = MetricSet()
+        self.host_memory = HostMemory(
+            capacity=self.params.host_memory_bytes, page_size=self.params.page_size
+        )
+        self.pcie = PcieLink(self.sim, self.params)
+        self.engine = CryptoEngine(
+            self.sim, self.params, enc_threads=enc_threads, dec_threads=dec_threads
+        )
+        self.staging = DmaStaging(self.sim)
+
+        self.cpu_endpoint: Optional[SessionEndpoint] = None
+        gpu_endpoint: Optional[SessionEndpoint] = None
+        if cc_mode is CcMode.ENABLED:
+            session = session or SecureSession(key)
+            self.cpu_endpoint, gpu_endpoint = session.endpoints()
+        self.gpu = GpuEnclave(self.sim, self.params, endpoint=gpu_endpoint)
+
+    @property
+    def cc_enabled(self) -> bool:
+        return self.cc_mode is CcMode.ENABLED
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)
+
+
+def build_machine(
+    cc_mode: CcMode = CcMode.ENABLED,
+    params: Optional[HardwareParams] = None,
+    enc_threads: int = 1,
+    dec_threads: int = 1,
+) -> Machine:
+    """Convenience factory mirroring the paper's three configurations.
+
+    * ``build_machine(CcMode.DISABLED)`` — the "w/o CC" baseline.
+    * ``build_machine(CcMode.ENABLED)`` — the "CC" baseline (CUDA
+      encrypts inline on one thread; pass ``enc_threads=4`` for the
+      Fig. 9 "CC-4t" variant).
+    * PipeLLM runs on an ENABLED machine via
+      :class:`repro.core.runtime.PipeLLMRuntime`.
+    """
+    return Machine(cc_mode, params=params, enc_threads=enc_threads, dec_threads=dec_threads)
+
+
+def build_attested_machine(
+    params: Optional[HardwareParams] = None,
+    enc_threads: int = 1,
+    dec_threads: int = 1,
+    device_id: str = "gpu-0",
+    host_seed: bytes = b"cvm-driver-seed",
+    device_seed: bytes = b"h100-device-seed",
+) -> Machine:
+    """Full CC bring-up: handshake, attestation, then the machine.
+
+    Runs the SPDM-style exchange of :mod:`repro.crypto.handshake`, has
+    the (provisioned) device attest its measurements over the
+    transcript, verifies the report against the golden values, and
+    only then builds a machine whose session key and starting IVs are
+    the handshake-derived ones — the initialization §2.2 presumes.
+    Raises :class:`repro.crypto.AttestationError` when the device is
+    not genuine.
+    """
+    driver = SessionHandshake("driver", seed=host_seed)
+    gpu = SessionHandshake("gpu", seed=device_seed)
+    transcript = driver.transcript(gpu.message())
+
+    root = RootOfTrust()
+    device = GpuDevice(device_id, root.provision(device_id))
+    report = device.attest(transcript)
+    root.verify(report, expected_measurements=GOLDEN_MEASUREMENTS)
+
+    session = driver.complete(gpu.message())
+    return Machine(
+        CcMode.ENABLED,
+        params=params,
+        enc_threads=enc_threads,
+        dec_threads=dec_threads,
+        session=session,
+    )

@@ -1,0 +1,125 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — every available experiment with its paper artifact.
+* ``run <experiment> [--scale quick|full]`` — run one experiment and
+  print its table (the same rows EXPERIMENTS.md records).
+* ``all [--scale ...]`` — run every experiment in order.
+* ``systems`` — the compared system configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .bench import (
+    ablation_async_decrypt,
+    verify_claims,
+    extension_layerwise_fifo,
+    extension_zero_offload,
+    ablation_enc_threads,
+    ablation_kv_depth,
+    ablation_leeway,
+    extension_teeio_scaling,
+    fig10_success_rate,
+    fig2_microbenchmark,
+    fig3a_flexgen_overhead,
+    fig3b_vllm_overhead,
+    fig3c_peft_overhead,
+    fig7_model_offloading,
+    fig8_kv_swapping,
+    fig9_threading,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": fig2_microbenchmark,
+    "fig3a": fig3a_flexgen_overhead,
+    "fig3b": fig3b_vllm_overhead,
+    "fig3c": fig3c_peft_overhead,
+    "fig7": fig7_model_offloading,
+    "fig8": fig8_kv_swapping,
+    "fig9": fig9_threading,
+    "fig10": fig10_success_rate,
+    "abl-threads": ablation_enc_threads,
+    "abl-asyncdec": ablation_async_decrypt,
+    "abl-leeway": ablation_leeway,
+    "abl-kvdepth": ablation_kv_depth,
+    "ext-teeio": extension_teeio_scaling,
+    "ext-layerwise": extension_layerwise_fifo,
+    "ext-zero": extension_zero_offload,
+}
+
+_SYSTEMS_HELP = """\
+w/o CC      confidential computing disabled (native performance)
+CC          NVIDIA CC as shipped: inline single-thread AES in the memcpy
+CC-4t       CC with 4 crypto threads, no pipelining (Fig. 9 strawman)
+PipeLLM     speculative pipelined encryption (this paper)
+PipeLLM-0   PipeLLM with always-wrong sequence prediction (Fig. 10)
+TEE-I/O     hypothetical inline hardware engine shared by N tenants (§8.3)
+"""
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PipeLLM (ASPLOS 2025) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("systems", help="describe the compared systems")
+    claims = sub.add_parser("claims", help="verify the paper's headline claims")
+    claims.add_argument("--scale", choices=("quick", "full"), default="quick")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--scale", choices=("quick", "full"), default="quick")
+
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--scale", choices=("quick", "full"), default="quick")
+    return parser
+
+
+def _run_one(name: str, scale: str, out) -> None:
+    start = time.time()
+    result = EXPERIMENTS[name](scale)
+    print(result.render(), file=out)
+    print(f"[{name}: {time.time() - start:.1f}s]", file=out)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, fn in EXPERIMENTS.items():
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<14} {summary}", file=out)
+        return 0
+    if args.command == "systems":
+        print(_SYSTEMS_HELP, end="", file=out)
+        return 0
+    if args.command == "claims":
+        from .bench.claims import render_outcomes
+
+        outcomes = verify_claims(args.scale)
+        print(render_outcomes(outcomes), file=out)
+        return 0 if all(o.passed for o in outcomes) else 1
+    if args.command == "run":
+        _run_one(args.experiment, args.scale, out)
+        return 0
+    if args.command == "all":
+        for name in EXPERIMENTS:
+            _run_one(name, args.scale, out)
+            print(file=out)
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""PipeLLM core: speculative pipelined encryption runtime."""
+
+from .classify import SwapClass, TransferClass, TransferClassifier
+from .config import PipeLLMConfig
+from .patterns import (
+    FifoDetector,
+    LifoDetector,
+    MarkovDetector,
+    PatternDetector,
+    RepetitiveDetector,
+)
+from .pipeline import SpeculationPipeline, StagedEntry
+from .predictor import PredictionTarget, SwapPredictor
+from .runtime import PipeLLMRuntime
+from .validator import Validation, ValidationOutcome, Validator
+
+__all__ = [
+    "FifoDetector",
+    "LifoDetector",
+    "MarkovDetector",
+    "PatternDetector",
+    "PipeLLMConfig",
+    "PipeLLMRuntime",
+    "PredictionTarget",
+    "RepetitiveDetector",
+    "SpeculationPipeline",
+    "StagedEntry",
+    "SwapClass",
+    "SwapPredictor",
+    "TransferClass",
+    "TransferClassifier",
+    "Validation",
+    "ValidationOutcome",
+    "Validator",
+]

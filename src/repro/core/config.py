@@ -1,0 +1,64 @@
+"""PipeLLM runtime configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .classify import DEFAULT_SWAP_THRESHOLD
+
+__all__ = ["PipeLLMConfig"]
+
+
+@dataclass
+class PipeLLMConfig:
+    """Tunables of the speculative pipelined encryption runtime.
+
+    Defaults match the paper's deployment: a short pipeline of large
+    chunks, all encryption threads ganged per chunk for model
+    offloading, asynchronous decryption on, and no sabotage.
+    """
+
+    #: Transfers below this size are control traffic, never pipelined.
+    swap_threshold: int = DEFAULT_SWAP_THRESHOLD
+    #: Target number of speculatively encrypted chunks staged ahead.
+    depth: int = 8
+    #: Separate (smaller) staging window for KV-cache predictions.
+    #: Under LIFO resume with interleaved swap-outs, deep KV staging
+    #: inverts IV order against commit order — every inversion wastes
+    #: the overwritten entries' encryptions — so the window is kept
+    #: shallow; weight streaming (strictly in-order) uses ``depth``.
+    kv_depth: int = 3
+    #: Extra IV headroom reserved for interleaved small transfers
+    #: (§5.1 "predict a larger IV ... as a leeway"). With adaptation
+    #: on, this is only the starting value.
+    leeway: int = 0
+    #: Adapt the leeway to the observed rate of small transfers
+    #: between swaps (exponential moving average).
+    adaptive_leeway: bool = True
+    #: Upper bound for the adaptive leeway. NOPs are cheap (~15 µs)
+    #: but every pad NOP consumes an IV that may skip a sibling staged
+    #: entry, so unbounded leeway self-poisons the pipeline; 64 covers
+    #: realistic bursts of interleaved small transfers (§5.1, §5.3).
+    max_leeway: int = 64
+    #: Private-memory budget for staged speculative ciphertext (§6).
+    max_staged_bytes: int = 32 << 30
+    #: How many encryption worker threads gang up on one chunk
+    #: (0 = all of them). Model offloading needs >1 to beat PCIe rate.
+    enc_ways: int = 0
+    #: Decrypt swapped-out data off the critical path (§5.4).
+    async_decrypt: bool = True
+    #: Prediction sabotage for the Fig. 10 ablation: ``None`` or
+    #: ``"reverse"`` (the PipeLLM-0 configuration — right set of
+    #: chunks, always-wrong sequence).
+    sabotage: Optional[str] = None
+    #: CPU overhead of the validation fast path per request (s).
+    validation_overhead: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+        if self.leeway < 0 or self.max_leeway < 0:
+            raise ValueError("leeway must be non-negative")
+        if self.swap_threshold <= 0:
+            raise ValueError("swap_threshold must be positive")

@@ -1,0 +1,126 @@
+"""The PipeLLM predictor (§5.1).
+
+Implements the function ``f([B0..Bn], {Ci..Cj}, IV_cur) -> (C_next,
+IV_next)`` from the problem statement: given the swap-in batch
+history, the currently swapped-out chunks, and the IV position, emit
+the next chunks expected to swap in.
+
+Per traffic class (weights / KV cache) the predictor runs every
+registered :class:`~repro.core.patterns.PatternDetector` hypothesis in
+parallel and predicts with the best-scoring one. The paper's ablation
+knob (Fig. 10 "PipeLLM-0": zero *sequence* prediction success) is the
+``sabotage`` option, which reverses the emitted order — the predicted
+*set* stays right, the *sequence* is always wrong, exactly the failure
+mode the ablation isolates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .classify import SwapClass, TransferClassifier
+from .patterns import (
+    FifoDetector,
+    LifoDetector,
+    MarkovDetector,
+    PatternDetector,
+    RepetitiveDetector,
+)
+
+__all__ = ["PredictionTarget", "SwapPredictor"]
+
+
+@dataclass(frozen=True)
+class PredictionTarget:
+    """A chunk the predictor expects the GPU to request soon."""
+
+    addr: int
+    size: int
+    swap_class: SwapClass
+
+    @property
+    def key(self):
+        return (self.addr, self.size)
+
+
+class SwapPredictor:
+    """Per-class hypothesis racing over the observed transfer trace."""
+
+    def __init__(
+        self,
+        classifier: TransferClassifier,
+        sabotage: Optional[str] = None,
+    ) -> None:
+        if sabotage not in (None, "reverse"):
+            raise ValueError(f"unknown sabotage mode: {sabotage}")
+        self.classifier = classifier
+        self.sabotage = sabotage
+        self._detectors: Dict[SwapClass, List[PatternDetector]] = {
+            SwapClass.WEIGHTS: [RepetitiveDetector(), MarkovDetector()],
+            SwapClass.KV_CACHE: [
+                LifoDetector(),
+                FifoDetector(),
+                RepetitiveDetector(),
+                MarkovDetector(),
+            ],
+        }
+        self.swap_ins_observed = 0
+        self.swap_outs_observed = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def observe_swap_out(self, addr: int, size: int) -> None:
+        """Feed one device→host swap into every hypothesis."""
+        swap_class = self.classifier.swap_class(size)
+        if swap_class is None:
+            return
+        self.swap_outs_observed += 1
+        for detector in self._detectors[swap_class]:
+            detector.observe_swap_out((addr, size))
+
+    def observe_swap_in(self, addr: int, size: int) -> None:
+        """Feed one host→device swap into every hypothesis."""
+        swap_class = self.classifier.swap_class(size)
+        if swap_class is None:
+            return
+        self.swap_ins_observed += 1
+        for detector in self._detectors[swap_class]:
+            detector.observe_swap_in((addr, size))
+
+    # -- prediction -----------------------------------------------------------
+
+    def best_detector(self, swap_class: SwapClass) -> PatternDetector:
+        """Highest-scoring hypothesis for a class (stable tie-break)."""
+        return max(self._detectors[swap_class], key=lambda d: d.score)
+
+    def predict(self, count: int, swap_class: SwapClass) -> List[PredictionTarget]:
+        """Next ``count`` expected swap-ins for one traffic class."""
+        detector = self.best_detector(swap_class)
+        keys = detector.predict(count)
+        if self.sabotage == "reverse":
+            keys = list(reversed(keys))
+        return [PredictionTarget(addr, size, swap_class) for addr, size in keys]
+
+    def predict_all(self, count: int, kv_count: Optional[int] = None) -> List[PredictionTarget]:
+        """Merged prediction across classes.
+
+        Weight streaming is strictly ordered and continuous, so when a
+        weights hypothesis is live its predictions come first; KV
+        predictions fill the remaining depth (optionally capped at
+        ``kv_count`` — KV staging pays for depth under LIFO churn).
+        """
+        weights = self.predict(count, SwapClass.WEIGHTS)
+        remaining = count - len(weights)
+        if kv_count is not None:
+            remaining = min(remaining, kv_count)
+        kv = self.predict(remaining, SwapClass.KV_CACHE) if remaining > 0 else []
+        return weights + kv
+
+    def scores(self) -> Dict[str, float]:
+        """Per-detector rolling accuracy, for traces and tests."""
+        out: Dict[str, float] = {}
+        for swap_class, detectors in self._detectors.items():
+            for detector in detectors:
+                out[f"{swap_class.value}.{detector.name}"] = detector.score
+        return out

@@ -1,0 +1,484 @@
+"""The user-transparent PipeLLM runtime (§5, Figure 4).
+
+:class:`PipeLLMRuntime` implements the same :class:`DeviceRuntime`
+surface as the baselines, so serving engines run on it unmodified —
+the paper's user-transparency requirement. Internally it is the
+composition of:
+
+* a :class:`TransferClassifier` separating swaps from control traffic,
+* a :class:`SwapPredictor` racing pattern hypotheses over the trace,
+* a :class:`SpeculationPipeline` pre-encrypting predicted chunks under
+  predicted IVs into private memory,
+* a :class:`Validator` deciding HIT/FUTURE/STALE/MISS per request,
+* an error handler (re-ordering via deferral, NOP padding, pipeline
+  relinquishing — §5.3),
+* an asynchronous decryptor for swap-outs (§5.4).
+
+The functional crypto layer is kept in lock-step with the timing
+model; any IV-accounting bug in this file would surface as a real GCM
+authentication failure in the GPU copy-engine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cc.api import D2H, H2D, DeviceRuntime, TransferHandle
+from ..cc.machine import Machine
+from ..hw.memory import MemoryChunk, PageFault
+from ..sim import Event
+from .classify import TransferClassifier
+from .config import PipeLLMConfig
+from .pipeline import SpeculationPipeline, StagedEntry
+from .predictor import SwapPredictor
+from .validator import ValidationOutcome, Validator
+
+__all__ = ["PipeLLMRuntime"]
+
+#: Consecutive validation misses (with a live pipeline) that trigger a
+#: full relinquish: the prediction is evidently off the rails.
+_RELINQUISH_AFTER_MISSES = 3
+
+#: How long a suspended request waits for a batch boundary before the
+#: watchdog resolves it with NOP padding (seconds). Long enough for
+#: same-instant batch mates to arrive, short against any transfer.
+_DEFER_GRACE = 50e-6
+
+
+@dataclass
+class _PendingDecrypt:
+    """A swap-out whose plaintext has not landed yet (§5.4)."""
+
+    addr: int
+    size: int
+    plaintext: bytes
+    ready: Event
+    owner: str
+
+
+class PipeLLMRuntime(DeviceRuntime):
+    """Speculative pipelined encryption over a CC-enabled machine."""
+
+    def __init__(self, machine: Machine, config: Optional[PipeLLMConfig] = None) -> None:
+        if not machine.cc_enabled:
+            raise ValueError("PipeLLM requires a CC-enabled machine")
+        super().__init__(machine)
+        self.params = machine.params
+        self.config = config or PipeLLMConfig()
+        self.classifier = TransferClassifier(swap_threshold=self.config.swap_threshold)
+        self.predictor = SwapPredictor(self.classifier, sabotage=self.config.sabotage)
+        self.pipeline = SpeculationPipeline(machine, self.config)
+        self.validator = Validator(self.pipeline)
+        machine.host_memory.on_fault(self._on_fault)
+        machine.host_memory.on_free(self._on_free)
+
+        # Wire-order chain: commits hit the PCIe link in IV order.
+        self._wire_tail: Event = self.sim.event()
+        self._wire_tail.succeed()
+        # Requests suspended until the batch boundary (Fig. 6).
+        self._deferred: List[Tuple[TransferHandle, StagedEntry]] = []
+        self._pending_decrypts: Dict[int, _PendingDecrypt] = {}
+
+        # Adaptive IV leeway (§5.1). Two signals: an EMA of small
+        # transfers per swap (the floor), and a multiplicative-increase
+        # value driven by stale deaths — over-predicting an IV costs a
+        # few NOPs, under-predicting costs a full re-encryption, so the
+        # controller errs high aggressively and decays slowly.
+        self._leeway_ema = float(self.config.leeway)
+        self._leeway_value = float(self.config.leeway)
+        self._small_since_swap = 0
+        self._consecutive_misses = 0
+
+        # Statistics surfaced by stats().
+        self.nops_sent = 0
+        self.ondemand_encryptions = 0
+        self.small_transfers = 0
+        self.sync_decrypts = 0
+        self.async_decrypts = 0
+        self.deferred_total = 0
+
+    # -- model hints (§4.2: "We assume LLM models are known") ----------------
+
+    def hint_weight_chunk_size(self, nbytes: int) -> None:
+        """Register the exact byte size of an offloadable weight chunk."""
+        self.classifier.register_weight_size(nbytes)
+
+    def hint_kv_block_size(self, nbytes: int) -> None:
+        """Register the exact byte size of a KV-cache swap unit."""
+        self.classifier.register_kv_block_size(nbytes)
+
+    # -- host → device ----------------------------------------------------------
+
+    def memcpy_h2d(self, chunk: MemoryChunk) -> TransferHandle:
+        self._record(H2D, chunk)
+        handle = TransferHandle(chunk, H2D, self.sim.event(), self.sim.event())
+        self._track(handle.complete)
+
+        if not self.classifier.is_swap(chunk.size):
+            self.small_transfers += 1
+            self._small_since_swap += 1
+            self._commit_ondemand(handle, chunk, parallel=False, blocking_api=True)
+            # Small transfers advance the IV past staged predictions;
+            # proactively re-encrypt anything that went stale (off the
+            # critical path — only the engine queue pays).
+            self._refresh_pipeline()
+            return handle
+
+        self.predictor.observe_swap_in(chunk.addr, chunk.size)
+        self._note_swap_arrival()
+        current = self.machine.cpu_endpoint.tx_iv.current
+        validation = self.validator.validate(chunk.addr, chunk.size, current)
+
+        if validation.outcome is ValidationOutcome.HIT_NOW:
+            self._consecutive_misses = 0
+            self._fast_api_return(handle)
+            self._commit_staged(handle, validation.entry)
+        elif validation.outcome is ValidationOutcome.HIT_FUTURE:
+            self._consecutive_misses = 0
+            self._fast_api_return(handle)
+            if self.pipeline.has_valid_below(validation.entry.iv):
+                # Re-ordering (§5.3): another request in this batch may
+                # arrive for the lower IV; suspend until the barrier.
+                validation.entry.reserved = True
+                self._deferred.append((handle, validation.entry))
+                self.deferred_total += 1
+                # Applications that wait on the transfer itself (not a
+                # device barrier) must not deadlock: resolve shortly
+                # after if no synchronize() picked the request up.
+                self.sim.process(self._deferred_watchdog())
+            else:
+                self._pad_nops_to(validation.entry.iv)
+                self._commit_staged(handle, validation.entry)
+        else:
+            if validation.outcome is ValidationOutcome.STALE:
+                # Order evidence against the current hypothesis.
+                self.pipeline.drop_stale(current)
+                self._bump_leeway()
+                self._count_miss()
+            self._commit_ondemand(handle, chunk, parallel=True, blocking_api=True)
+
+        self._refresh_pipeline()
+        return handle
+
+    def _refresh_pipeline(self) -> None:
+        """Drop IV-stale entries and restage from current predictions."""
+        killed = self.pipeline.drop_stale(self.machine.cpu_endpoint.tx_iv.current)
+        if killed:
+            self._bump_leeway()
+        self.pipeline.refill(self.predictor, self._leeway())
+
+    def _bump_leeway(self) -> None:
+        """An entry died of IV staleness: the leeway was too small.
+
+        Multiplicative increase — an over-long leeway costs microsecond
+        NOPs at commit time, an under-long one costs a full chunk
+        re-encryption, so the controller errs high."""
+        self._leeway_value = min(
+            float(self.config.max_leeway),
+            max(2.0 * self._leeway_value, self._leeway_ema + 8.0),
+        )
+
+    # -- device → host -------------------------------------------------------------
+
+    def memcpy_d2h(self, chunk: MemoryChunk) -> TransferHandle:
+        self._record(D2H, chunk)
+        handle = TransferHandle(chunk, D2H, self.sim.event(), self.sim.event())
+        self._track(handle.complete)
+
+        # Functional layer runs eagerly in call order on both sides, so
+        # the D2H IV streams stay aligned regardless of timing overlap.
+        message = self.machine.gpu.send_ciphertext(chunk)
+        plaintext = self.machine.cpu_endpoint.decrypt_next(message)
+
+        # The transfer will overwrite [addr, addr+size): any staged
+        # ciphertext reading from that range is stale the moment the
+        # data lands — the same page-protection fault a CPU write would
+        # raise (the DMA landing is a write like any other).
+        self.pipeline.invalidate_overlapping(chunk.addr, chunk.size, reason="write-fault")
+
+        is_swap = self.classifier.is_swap(chunk.size)
+        if is_swap:
+            self.predictor.observe_swap_out(chunk.addr, chunk.size)
+
+        if is_swap and self.config.async_decrypt:
+            # A newer swap-out to the same destination supersedes any
+            # pending decrypt there: its plaintext would be overwritten
+            # anyway, so release its waiters and protection now.
+            stale = self._pending_decrypts.pop(chunk.addr, None)
+            if stale is not None:
+                self.machine.host_memory.unprotect(stale.owner)
+                if not stale.ready.triggered:
+                    stale.ready.succeed()
+            owner = f"dec:{chunk.addr}"
+            self.machine.host_memory.protect(
+                chunk.addr, chunk.size, owner=owner, deny_read=True, deny_write=True
+            )
+            pending = _PendingDecrypt(chunk.addr, chunk.size, plaintext, self.sim.event(), owner)
+            self._pending_decrypts[chunk.addr] = pending
+            self.pipeline.blocked_addrs[chunk.addr] = "pending-decrypt"
+            self.sim.process(self._timed_d2h_async(handle, chunk, pending))
+        else:
+            self.sim.process(self._timed_d2h_sync(handle, chunk, plaintext))
+
+        if is_swap:
+            self.pipeline.refill(self.predictor, self._leeway())
+        return handle
+
+    # -- synchronization (batch boundary) ----------------------------------------
+
+    def synchronize(self) -> Event:
+        done = self.sim.event()
+        self.sim.process(self._sync_proc(done))
+        return done
+
+    def _sync_proc(self, done: Event):
+        self._resolve_deferred()
+        yield DeviceRuntime.synchronize(self)
+        done.succeed()
+
+    def _deferred_watchdog(self):
+        yield self.sim.timeout(_DEFER_GRACE)
+        self._resolve_deferred()
+
+    def _resolve_deferred(self) -> None:
+        """Commit every suspended request, padding IV gaps with NOPs.
+
+        Runs at the batch boundary (§5.3 / Fig. 6) or from the
+        watchdog when the application never issues one.
+        """
+        deferred, self._deferred = self._deferred, []
+        for handle, entry in sorted(deferred, key=lambda pair: pair[1].iv):
+            current = self.machine.cpu_endpoint.tx_iv.current
+            if not entry.valid or entry.iv < current:
+                # Invalidated (write fault / IV skipped) while waiting.
+                self._count_miss()
+                self._commit_ondemand(handle, handle.chunk, parallel=True, blocking_api=False)
+                continue
+            self._pad_nops_to(entry.iv)
+            self._commit_staged(handle, entry)
+        if deferred:
+            self._refresh_pipeline()
+
+    # -- CPU-side access to swapped-out data (§5.4) ----------------------------------
+
+    def cpu_access(self, addr: int) -> Event:
+        """Event the CPU must wait on before touching ``addr``'s data.
+
+        Already-decrypted (or never-async) regions return a triggered
+        event. This is the timing twin of the usage-before-decryption
+        page fault; the functional twin is :meth:`_on_fault`.
+        """
+        pending = self._pending_decrypts.get(addr)
+        if pending is None:
+            event = self.sim.event()
+            event.succeed()
+            return event
+        return pending.ready
+
+    # -- fault handling (validator + async decryptor) ----------------------------------
+
+    def _on_fault(self, fault: PageFault) -> None:
+        if fault.is_write:
+            self.pipeline.invalidate_overlapping(fault.addr, fault.size)
+        for addr, pending in list(self._pending_decrypts.items()):
+            if pending.addr < fault.addr + fault.size and fault.addr < pending.addr + pending.size:
+                self._land_decrypt(pending, synchronous=True)
+
+    def _on_free(self, region) -> None:
+        """A host region vanished: any ciphertext staged from it is dead."""
+        self.pipeline.invalidate_overlapping(region.addr, region.size, reason="region-freed")
+        pending = self._pending_decrypts.pop(region.addr, None)
+        if pending is not None:
+            # The app discarded the swap-out before touching it; no
+            # plaintext needs to land, but waiters must not hang.
+            self.pipeline.blocked_addrs.pop(region.addr, None)
+            if not pending.ready.triggered:
+                pending.ready.succeed()
+
+    def _land_decrypt(self, pending: _PendingDecrypt, synchronous: bool) -> None:
+        if self._pending_decrypts.get(pending.addr) is not pending:
+            return  # Already landed, or superseded by a newer swap-out.
+        del self._pending_decrypts[pending.addr]
+        self.machine.host_memory.write_silent(pending.addr, pending.plaintext)
+        self.machine.host_memory.unprotect(pending.owner)
+        self.pipeline.blocked_addrs.pop(pending.addr, None)
+        if synchronous:
+            self.sync_decrypts += 1
+        else:
+            self.async_decrypts += 1
+        pending.ready.succeed()
+
+    # -- commit machinery -------------------------------------------------------------
+
+    def _advance_chain(self) -> Tuple[Event, Event]:
+        prev, mine = self._wire_tail, self.sim.event()
+        self._wire_tail = mine
+        return prev, mine
+
+    def _commit_staged(self, handle: TransferHandle, entry: StagedEntry) -> None:
+        endpoint = self.machine.cpu_endpoint
+        if entry.iv != endpoint.tx_iv.current:
+            raise AssertionError(
+                f"staged commit out of order: entry iv {entry.iv}, "
+                f"channel iv {endpoint.tx_iv.current}"
+            )
+        endpoint.commit_tx_iv()
+        self.pipeline.pop(entry)
+        # Successful staged commits decay the leeway slowly back down.
+        self._leeway_value = max(self._leeway_ema, 0.999 * self._leeway_value)
+        # GPU copy engine authenticates with its synchronized RX IV:
+        # this raising AuthenticationError would mean our IV logic is wrong.
+        self.machine.gpu.receive_ciphertext(entry.chunk, entry.message)
+        prev, mine = self._advance_chain()
+        self.sim.process(
+            self._timed_h2d(handle, entry.chunk.size, entry.ready, prev, mine, staged=True)
+        )
+
+    def _commit_ondemand(
+        self,
+        handle: TransferHandle,
+        chunk: MemoryChunk,
+        parallel: bool,
+        blocking_api: bool,
+    ) -> None:
+        endpoint = self.machine.cpu_endpoint
+        message = endpoint.encrypt_next(chunk.payload, nbytes_logical=chunk.size)
+        # A consumed IV may skip a staged sibling; that entry is dead
+        # (refresh restages it) but it is a miss-cascade symptom, not
+        # evidence the leeway is too small — no controller bump.
+        self.pipeline.on_iv_consumed(message.sender_iv)
+        self.machine.gpu.receive_ciphertext(chunk, message)
+        if parallel:
+            self.ondemand_encryptions += 1
+            enc_ready = self.machine.engine.submit_encrypt_parallel(
+                chunk.size, ways=self.config.enc_ways, urgent=True
+            )
+        else:
+            enc_ready = self.machine.engine.submit_encrypt_inline_cc(chunk.size)
+        prev, mine = self._advance_chain()
+        self.sim.process(
+            self._timed_h2d(
+                handle, chunk.size, enc_ready, prev, mine,
+                staged=False, blocking_api=blocking_api,
+            )
+        )
+
+    def _pad_nops_to(self, target_iv: int) -> None:
+        """Send NOPs until the channel's next IV equals ``target_iv``."""
+        endpoint = self.machine.cpu_endpoint
+        while endpoint.tx_iv.current < target_iv:
+            message = endpoint.encrypt_next(b"\x00", nbytes_logical=self.params.nop_bytes)
+            self.pipeline.on_iv_consumed(message.sender_iv)
+            self.machine.gpu.endpoint.decrypt_next(message)
+            prev, mine = self._advance_chain()
+            self.sim.process(self._timed_nop(prev, mine))
+            self.nops_sent += 1
+
+    # -- timed (simulated) halves --------------------------------------------------------
+
+    def _timed_h2d(
+        self,
+        handle: TransferHandle,
+        size: int,
+        enc_ready: Optional[Event],
+        prev: Event,
+        mine: Event,
+        staged: bool,
+        blocking_api: bool = False,
+    ):
+        if enc_ready is not None:
+            yield enc_ready
+        if blocking_api and not handle.api_done.triggered:
+            handle.api_done.succeed()
+        yield prev
+        if staged:
+            # Validated ciphertext moves private → shared DMA buffers (§6).
+            yield from self.machine.staging.stage(size)
+        yield self.sim.timeout(self.params.cc_control_latency)
+        dma = self.machine.pcie.transfer_h2d(size, cc_path=True)
+        mine.succeed()
+        yield dma
+        handle.complete.succeed()
+
+    def _timed_nop(self, prev: Event, mine: Event):
+        yield prev
+        yield self.sim.timeout(self.params.cc_control_latency)
+        dma = self.machine.pcie.transfer_h2d(self.params.nop_bytes, cc_path=True)
+        mine.succeed()
+        yield dma
+
+    def _timed_d2h_async(self, handle: TransferHandle, chunk: MemoryChunk, pending: _PendingDecrypt):
+        # The async memcpy returns to the app right away — the GPU-side
+        # encryption runs at line rate in the copy engine and the DMA
+        # is queued; §5.4 additionally defers the CPU decryption.
+        self._fast_api_return(handle)
+        yield self.sim.timeout(self.params.cc_control_latency)
+        yield self.machine.pcie.transfer_d2h(chunk.size, cc_path=True)
+        handle.complete.succeed()
+        # Newest-first decryption: LIFO resume wants the most recent
+        # swap-out back first, so its plaintext should be ready first.
+        yield self.machine.engine.submit_decrypt_parallel(
+            chunk.size, ways=self.config.enc_ways, front=True
+        )
+        self._land_decrypt(pending, synchronous=False)
+        self.pipeline.refill(self.predictor, self._leeway())
+
+    def _timed_d2h_sync(self, handle: TransferHandle, chunk: MemoryChunk, plaintext: bytes):
+        yield self.sim.timeout(self.params.cc_control_latency)
+        yield self.machine.pcie.transfer_d2h(chunk.size, cc_path=True)
+        yield self.machine.engine.submit_decrypt_inline_cc(chunk.size)
+        self.machine.host_memory.write_silent(chunk.addr, plaintext)
+        handle.api_done.succeed()
+        handle.complete.succeed()
+
+    # -- leeway adaptation & misc ------------------------------------------------------
+
+    def _fast_api_return(self, handle: TransferHandle) -> None:
+        self.sim.process(_fire_after(self.sim, self.config.validation_overhead, handle.api_done))
+
+    def _note_swap_arrival(self) -> None:
+        if self.config.adaptive_leeway:
+            self._leeway_ema = 0.8 * self._leeway_ema + 0.2 * self._small_since_swap
+        self._small_since_swap = 0
+
+    def _leeway(self) -> int:
+        if not self.config.adaptive_leeway:
+            return self.config.leeway
+        value = max(self._leeway_value, self._leeway_ema)
+        return min(self.config.max_leeway, int(round(value)))
+
+    def _count_miss(self) -> None:
+        self._consecutive_misses += 1
+        if self._consecutive_misses >= _RELINQUISH_AFTER_MISSES and self.pipeline.valid_entries:
+            self.pipeline.relinquish()
+            self._consecutive_misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Runtime counters for reports and tests."""
+        return {
+            "swap_requests": float(self.validator.requests),
+            "hits": float(self.validator.hits),
+            "future_hits": float(self.validator.future_hits),
+            "stale": float(self.validator.stale),
+            "misses": float(self.validator.misses),
+            "success_rate": self.validator.success_rate,
+            "nops_sent": float(self.nops_sent),
+            "ondemand_encryptions": float(self.ondemand_encryptions),
+            "small_transfers": float(self.small_transfers),
+            "deferred": float(self.deferred_total),
+            "sync_decrypts": float(self.sync_decrypts),
+            "async_decrypts": float(self.async_decrypts),
+            "staged_total": float(self.pipeline.staged_total),
+            "invalidated_by_fault": float(self.pipeline.invalidated_by_fault),
+            "invalidated_by_iv_skip": float(self.pipeline.invalidated_by_iv_skip),
+            "relinquishes": float(self.pipeline.relinquish_count),
+            "evicted": float(self.pipeline.evicted),
+            "gpu_auth_failures": float(self.machine.gpu.auth_failures),
+        }
+
+
+def _fire_after(sim, delay: float, event: Event):
+    yield sim.timeout(delay)
+    if not event.triggered:
+        event.succeed()

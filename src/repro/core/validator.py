@@ -1,0 +1,82 @@
+"""The PipeLLM validator (§5.2).
+
+At the moment the application submits a memcpy, the validator decides
+what can be done with the speculative state — *without comparing data*
+(the whole point of the page-protection scheme is that a staleness
+check costs one metadata lookup, not a plaintext scan):
+
+* the (address, length) label of the request must exactly match a
+  staged entry (entries invalidated by write faults are already gone);
+* the entry's predicted IV is compared against the channel's current
+  IV to pick the commit strategy (direct / NOP-pad / dead).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .pipeline import SpeculationPipeline, StagedEntry
+
+__all__ = ["ValidationOutcome", "Validation", "Validator"]
+
+
+class ValidationOutcome(enum.Enum):
+    """What the validator concluded about one swap-in request."""
+
+    #: Staged, and its IV is exactly the channel's next IV: ship it.
+    HIT_NOW = "hit_now"
+    #: Staged with a future IV: usable after the IV gap is filled
+    #: (by other requests in the batch, or by padding NOPs — §5.3).
+    HIT_FUTURE = "hit_future"
+    #: Staged, but its IV already passed: cryptographically dead.
+    STALE = "stale"
+    #: Not staged at all: encrypt on demand.
+    MISS = "miss"
+
+
+@dataclass(frozen=True)
+class Validation:
+    outcome: ValidationOutcome
+    entry: Optional[StagedEntry]
+
+    @property
+    def usable(self) -> bool:
+        return self.outcome in (ValidationOutcome.HIT_NOW, ValidationOutcome.HIT_FUTURE)
+
+
+class Validator:
+    """Stateless decision logic over the pipeline + IV position."""
+
+    def __init__(self, pipeline: SpeculationPipeline) -> None:
+        self.pipeline = pipeline
+        self.hits = 0
+        self.future_hits = 0
+        self.stale = 0
+        self.misses = 0
+
+    def validate(self, addr: int, size: int, current_iv: int) -> Validation:
+        """Classify one swap-in request against the staged pipeline."""
+        entry = self.pipeline.find(addr, size)
+        if entry is None:
+            self.misses += 1
+            return Validation(ValidationOutcome.MISS, None)
+        if entry.iv == current_iv:
+            self.hits += 1
+            return Validation(ValidationOutcome.HIT_NOW, entry)
+        if entry.iv > current_iv:
+            self.future_hits += 1
+            return Validation(ValidationOutcome.HIT_FUTURE, entry)
+        self.stale += 1
+        return Validation(ValidationOutcome.STALE, entry)
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.future_hits + self.stale + self.misses
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of swap requests served from staged ciphertext."""
+        total = self.requests
+        return (self.hits + self.future_hits) / total if total else 0.0

@@ -1,0 +1,37 @@
+"""Cryptographic substrate: AES, AES-GCM, IV streams, secure sessions."""
+
+from .aes import AES, BLOCK_SIZE
+from .attestation import (
+    AttestationError,
+    AttestationReport,
+    GOLDEN_MEASUREMENTS,
+    GpuDevice,
+    RootOfTrust,
+)
+from .handshake import DhKeyPair, HandshakeMessage, SessionHandshake, hkdf
+from .gcm import AesGcm, AuthenticationError, TAG_SIZE, iv_from_counter
+from .ivstream import IvExhaustedError, IvStream
+from .session import EncryptedMessage, SecureSession, SessionEndpoint
+
+__all__ = [
+    "AES",
+    "AttestationError",
+    "AttestationReport",
+    "DhKeyPair",
+    "GOLDEN_MEASUREMENTS",
+    "GpuDevice",
+    "HandshakeMessage",
+    "RootOfTrust",
+    "SessionHandshake",
+    "hkdf",
+    "AesGcm",
+    "AuthenticationError",
+    "BLOCK_SIZE",
+    "EncryptedMessage",
+    "IvExhaustedError",
+    "IvStream",
+    "SecureSession",
+    "SessionEndpoint",
+    "TAG_SIZE",
+    "iv_from_counter",
+]

@@ -1,0 +1,281 @@
+"""Pure-Python AES block cipher (FIPS-197).
+
+The H100's confidential-computing channel encrypts CPU↔GPU traffic
+with AES-GCM (§2.2 of the paper). This module provides the AES-128 /
+AES-192 / AES-256 block primitive used by :mod:`repro.crypto.gcm`.
+
+The implementation is a straightforward, table-driven encryption-only
+core plus the inverse cipher for tests. It is deliberately simple and
+readable rather than fast — transfers in the simulation carry small
+*payloads* (the timing layer charges cost from logical sizes), so
+throughput of the Python cipher is irrelevant; only its correctness
+matters for the IV/replay semantics the paper relies on.
+
+Known-answer tests against the FIPS-197 vectors live in
+``tests/crypto/test_aes.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["AES", "BLOCK_SIZE"]
+
+BLOCK_SIZE = 16
+
+# -- S-box construction (computed once at import) -----------------------
+
+
+def _build_sbox() -> Tuple[bytes, bytes]:
+    """Build the AES S-box and its inverse from GF(2^8) arithmetic."""
+
+    def gf_mul(a: int, b: int) -> int:
+        result = 0
+        for _ in range(8):
+            if b & 1:
+                result ^= a
+            high = a & 0x80
+            a = (a << 1) & 0xFF
+            if high:
+                a ^= 0x1B
+            b >>= 1
+        return result
+
+    # Multiplicative inverses via exponentiation tables.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    def gf_inv(a: int) -> int:
+        if a == 0:
+            return 0
+        return exp[255 - log[a]]
+
+    sbox = bytearray(256)
+    inv_sbox = bytearray(256)
+    for value in range(256):
+        inverse = gf_inv(value)
+        affine = inverse
+        for shift in (1, 2, 3, 4):
+            affine ^= ((inverse << shift) | (inverse >> (8 - shift))) & 0xFF
+        affine ^= 0x63
+        sbox[value] = affine
+        inv_sbox[affine] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a = (a ^ 0x1B) & 0xFF
+    return a
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiply used by (Inv)MixColumns."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_xtime(_RCON[-1]))
+
+
+def _build_ttables():
+    """Combined SubBytes+ShiftRows+MixColumns lookup tables.
+
+    ``T0[x]`` packs the MixColumns contribution of an input byte in
+    row 0: ``(2·S[x], S[x], S[x], 3·S[x])`` as one 32-bit word;
+    T1..T3 are the row-1..3 variants. One AES round then reduces to
+    16 table lookups — the classic software optimization, which keeps
+    the functional crypto layer fast enough for full serving traces.
+    """
+    t0, t1, t2, t3 = [], [], [], []
+    for x in range(256):
+        a = _SBOX[x]
+        a2 = _gmul(a, 2)
+        a3 = _gmul(a, 3)
+        t0.append((a2 << 24) | (a << 16) | (a << 8) | a3)
+        t1.append((a3 << 24) | (a2 << 16) | (a << 8) | a)
+        t2.append((a << 24) | (a3 << 16) | (a2 << 8) | a)
+        t3.append((a << 24) | (a << 16) | (a3 << 8) | a2)
+    return t0, t1, t2, t3
+
+
+_T0, _T1, _T2, _T3 = _build_ttables()
+
+
+class AES:
+    """AES block cipher with 128/192/256-bit keys.
+
+    >>> cipher = AES(bytes(16))
+    >>> cipher.encrypt_block(bytes(16)).hex()
+    '66e94bd4ef8a2c3b884cfa59ca342b2e'
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError(f"invalid AES key length: {len(key)}")
+        self.key = bytes(key)
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+        # Round keys as big-endian 32-bit column words for the
+        # table-driven fast path.
+        self._rk_words = [
+            [int.from_bytes(bytes(rk[4 * c : 4 * c + 4]), "big") for c in range(4)]
+            for rk in self._round_keys
+        ]
+
+    # -- key schedule ----------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        nk = len(key) // 4
+        words: List[List[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        # Group words into 16-byte round keys (column-major state order).
+        round_keys = []
+        for round_index in range(self._rounds + 1):
+            chunk = words[4 * round_index : 4 * round_index + 4]
+            round_keys.append([b for word in chunk for b in word])
+        return round_keys
+
+    # -- round transforms --------------------------------------------------
+
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _inv_sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _INV_SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # State is column-major: byte (row r, col c) lives at 4*c + r.
+        for row in range(1, 4):
+            values = [state[4 * col + row] for col in range(4)]
+            values = values[row:] + values[:row]
+            for col in range(4):
+                state[4 * col + row] = values[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> None:
+        for row in range(1, 4):
+            values = [state[4 * col + row] for col in range(4)]
+            values = values[-row:] + values[:-row]
+            for col in range(4):
+                state[4 * col + row] = values[col]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            state[4 * col + 0] = _gmul(a[0], 2) ^ _gmul(a[1], 3) ^ a[2] ^ a[3]
+            state[4 * col + 1] = a[0] ^ _gmul(a[1], 2) ^ _gmul(a[2], 3) ^ a[3]
+            state[4 * col + 2] = a[0] ^ a[1] ^ _gmul(a[2], 2) ^ _gmul(a[3], 3)
+            state[4 * col + 3] = _gmul(a[0], 3) ^ a[1] ^ a[2] ^ _gmul(a[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            state[4 * col + 0] = _gmul(a[0], 14) ^ _gmul(a[1], 11) ^ _gmul(a[2], 13) ^ _gmul(a[3], 9)
+            state[4 * col + 1] = _gmul(a[0], 9) ^ _gmul(a[1], 14) ^ _gmul(a[2], 11) ^ _gmul(a[3], 13)
+            state[4 * col + 2] = _gmul(a[0], 13) ^ _gmul(a[1], 9) ^ _gmul(a[2], 14) ^ _gmul(a[3], 11)
+            state[4 * col + 3] = _gmul(a[0], 11) ^ _gmul(a[1], 13) ^ _gmul(a[2], 9) ^ _gmul(a[3], 14)
+
+    # -- block operations ---------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block (table-driven fast path)."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("block must be exactly 16 bytes")
+        rk = self._rk_words
+        c0 = int.from_bytes(block[0:4], "big") ^ rk[0][0]
+        c1 = int.from_bytes(block[4:8], "big") ^ rk[0][1]
+        c2 = int.from_bytes(block[8:12], "big") ^ rk[0][2]
+        c3 = int.from_bytes(block[12:16], "big") ^ rk[0][3]
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        for round_index in range(1, self._rounds):
+            k = rk[round_index]
+            n0 = t0[c0 >> 24] ^ t1[(c1 >> 16) & 0xFF] ^ t2[(c2 >> 8) & 0xFF] ^ t3[c3 & 0xFF] ^ k[0]
+            n1 = t0[c1 >> 24] ^ t1[(c2 >> 16) & 0xFF] ^ t2[(c3 >> 8) & 0xFF] ^ t3[c0 & 0xFF] ^ k[1]
+            n2 = t0[c2 >> 24] ^ t1[(c3 >> 16) & 0xFF] ^ t2[(c0 >> 8) & 0xFF] ^ t3[c1 & 0xFF] ^ k[2]
+            n3 = t0[c3 >> 24] ^ t1[(c0 >> 16) & 0xFF] ^ t2[(c1 >> 8) & 0xFF] ^ t3[c2 & 0xFF] ^ k[3]
+            c0, c1, c2, c3 = n0, n1, n2, n3
+        sbox = _SBOX
+        k = rk[self._rounds]
+        o0 = ((sbox[c0 >> 24] << 24) | (sbox[(c1 >> 16) & 0xFF] << 16)
+              | (sbox[(c2 >> 8) & 0xFF] << 8) | sbox[c3 & 0xFF]) ^ k[0]
+        o1 = ((sbox[c1 >> 24] << 24) | (sbox[(c2 >> 16) & 0xFF] << 16)
+              | (sbox[(c3 >> 8) & 0xFF] << 8) | sbox[c0 & 0xFF]) ^ k[1]
+        o2 = ((sbox[c2 >> 24] << 24) | (sbox[(c3 >> 16) & 0xFF] << 16)
+              | (sbox[(c0 >> 8) & 0xFF] << 8) | sbox[c1 & 0xFF]) ^ k[2]
+        o3 = ((sbox[c3 >> 24] << 24) | (sbox[(c0 >> 16) & 0xFF] << 16)
+              | (sbox[(c1 >> 8) & 0xFF] << 8) | sbox[c2 & 0xFF]) ^ k[3]
+        return (
+            o0.to_bytes(4, "big") + o1.to_bytes(4, "big")
+            + o2.to_bytes(4, "big") + o3.to_bytes(4, "big")
+        )
+
+    def encrypt_block_reference(self, block: bytes) -> bytes:
+        """Readable FIPS-197 round-by-round cipher; pins the fast path."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("block must be exactly 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self._rounds):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block (used only by tests; GCM is CTR-based)."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("block must be exactly 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for round_index in range(self._rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._inv_sub_bytes(state)
+            self._add_round_key(state, self._round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._inv_sub_bytes(state)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

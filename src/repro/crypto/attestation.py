@@ -1,0 +1,110 @@
+"""GPU attestation: proving the DH peer is a genuine, unmodified GPU.
+
+A Diffie–Hellman exchange alone protects against passive observers but
+not against an active hypervisor impersonating the GPU. On the H100
+the driver therefore verifies an SPDM *attestation report*: the GPU
+signs its firmware measurements plus the handshake transcript with a
+device key whose certificate chains to NVIDIA's root.
+
+The simulation keeps the structure and the failure modes while
+replacing the ECDSA certificate chain with an HMAC scheme rooted in a
+:class:`RootOfTrust` (the "manufacturer") that provisions each device
+with a secret and publishes the corresponding verification records —
+the same trust topology, symmetric instead of asymmetric:
+
+* a report over the wrong transcript (MITM) does not verify;
+* tampered measurements (modified firmware) do not verify;
+* a report from an unprovisioned device does not verify;
+* replaying an old report against a fresh handshake does not verify
+  (the transcript contains both nonces).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["AttestationError", "AttestationReport", "GpuDevice", "RootOfTrust"]
+
+
+class AttestationError(Exception):
+    """The attestation report failed verification."""
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """What the GPU returns for a measurement request."""
+
+    device_id: str
+    measurements: Tuple[bytes, ...]
+    transcript: bytes
+    mac: bytes
+
+
+class RootOfTrust:
+    """The manufacturer: provisions devices, verifies their reports."""
+
+    def __init__(self, name: str = "nvidia-root") -> None:
+        self.name = name
+        self._device_secrets: Dict[str, bytes] = {}
+
+    def provision(self, device_id: str) -> bytes:
+        """Install a device secret at 'manufacturing time'."""
+        if device_id in self._device_secrets:
+            raise ValueError(f"device {device_id} already provisioned")
+        secret = hashlib.sha256(f"{self.name}:{device_id}".encode()).digest()
+        self._device_secrets[device_id] = secret
+        return secret
+
+    def verify(self, report: AttestationReport, expected_measurements=None) -> None:
+        """Check a report; raises :class:`AttestationError` on any defect."""
+        secret = self._device_secrets.get(report.device_id)
+        if secret is None:
+            raise AttestationError(f"unknown device {report.device_id}")
+        expected_mac = _report_mac(secret, report.measurements, report.transcript)
+        if not hmac.compare_digest(expected_mac, report.mac):
+            raise AttestationError("report MAC mismatch (tampered or replayed)")
+        if expected_measurements is not None and tuple(expected_measurements) != report.measurements:
+            raise AttestationError("measurements do not match the golden values")
+
+
+def _report_mac(secret: bytes, measurements, transcript: bytes) -> bytes:
+    payload = b"attest-v1" + b"".join(measurements) + transcript
+    return hmac.new(secret, payload, hashlib.sha256).digest()
+
+
+@dataclass
+class GpuDevice:
+    """The device-side attester."""
+
+    device_id: str
+    secret: bytes
+    #: Firmware/VBIOS measurement registers (extended at boot).
+    measurements: Tuple[bytes, ...] = field(
+        default_factory=lambda: (
+            hashlib.sha256(b"h100-vbios-1.0").digest(),
+            hashlib.sha256(b"h100-cc-firmware-1.0").digest(),
+        )
+    )
+
+    def attest(self, transcript: bytes) -> AttestationReport:
+        """Sign the measurements bound to this handshake's transcript."""
+        return AttestationReport(
+            device_id=self.device_id,
+            measurements=self.measurements,
+            transcript=transcript,
+            mac=_report_mac(self.secret, self.measurements, transcript),
+        )
+
+    def with_tampered_firmware(self) -> "GpuDevice":
+        """A compromised device: same secret, different measurements."""
+        return GpuDevice(
+            self.device_id,
+            self.secret,
+            measurements=(hashlib.sha256(b"evil-firmware").digest(),) + self.measurements[1:],
+        )
+
+
+GOLDEN_MEASUREMENTS = GpuDevice("_", b"").measurements

@@ -1,0 +1,77 @@
+"""Incrementing Initialization-Vector streams.
+
+NVIDIA CC synchronizes a starting IV between the CVM and the GPU at
+session setup; afterwards *both sides increment independently* after
+each transfer in a direction (§2.2, Figure 1). An :class:`IvStream` is
+one side's view of one direction's counter. Desynchronization —
+exactly what a mispredicted speculative encryption causes — is directly
+observable as a GCM authentication failure.
+"""
+
+from __future__ import annotations
+
+from .gcm import iv_from_counter
+
+__all__ = ["IvStream", "IvExhaustedError"]
+
+
+class IvExhaustedError(Exception):
+    """The 96-bit counter space ran out (practically unreachable)."""
+
+
+class IvStream:
+    """A monotone IV counter for one direction of a secure channel.
+
+    The stream distinguishes *peeking* (what IV would the next
+    encryption use — needed by the speculative predictor) from
+    *consuming* (an encryption actually happened; the hardware
+    counter advanced).
+    """
+
+    MAX = (1 << 96) - 1
+
+    def __init__(self, start: int = 1, name: str = "iv") -> None:
+        if start < 0:
+            raise ValueError("IV counter must be non-negative")
+        self.name = name
+        self._next = start
+        self.consumed = 0
+
+    @property
+    def current(self) -> int:
+        """The IV the *next* encryption on this stream will consume."""
+        return self._next
+
+    def peek(self, ahead: int = 0) -> int:
+        """IV that the (1+ahead)-th future encryption would consume."""
+        if ahead < 0:
+            raise ValueError("ahead must be non-negative")
+        return self._next + ahead
+
+    def consume(self) -> int:
+        """Advance the counter by one; returns the IV just consumed."""
+        if self._next >= self.MAX:
+            raise IvExhaustedError(self.name)
+        value = self._next
+        self._next += 1
+        self.consumed += 1
+        return value
+
+    def advance_to(self, target: int) -> int:
+        """Jump the counter forward to ``target``; returns steps skipped.
+
+        Used by tests to model explicit resynchronization. Moving
+        backwards is forbidden — IVs must never repeat.
+        """
+        if target < self._next:
+            raise ValueError("IV streams can never move backwards")
+        skipped = target - self._next
+        self._next = target
+        return skipped
+
+    def nonce(self, counter: int) -> bytes:
+        """Encode an integer counter as the 96-bit GCM nonce."""
+        return iv_from_counter(counter)
+
+    def __repr__(self) -> str:
+        return f"IvStream({self.name}, next={self._next})"

@@ -1,0 +1,111 @@
+"""Secure-session abstraction binding keys and per-direction IV streams.
+
+A :class:`SecureSession` models the shared state negotiated between
+the CVM and the GPU at boot: one AES-GCM key and two independent IV
+counters, one per transfer direction (host→device and device→host).
+The two endpoints (:class:`SessionEndpoint`) each hold their *own*
+counters; the protocol only works while both sides' counters agree,
+which is the invariant PipeLLM's NOP padding and pipeline
+relinquishing exist to maintain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .gcm import AesGcm, AuthenticationError, iv_from_counter
+from .ivstream import IvStream
+
+__all__ = ["SecureSession", "SessionEndpoint", "EncryptedMessage"]
+
+
+@dataclass(frozen=True)
+class EncryptedMessage:
+    """A ciphertext as it crosses the (untrusted) shared memory.
+
+    The IV is *not* carried on the wire — both endpoints derive it from
+    their local counters, exactly as on the H100 (§2.2). We keep the
+    counter value used by the sender purely for introspection in tests
+    and traces; the receiver never reads it.
+    """
+
+    ciphertext: bytes
+    tag: bytes
+    sender_iv: int
+    nbytes_logical: int
+
+
+class SessionEndpoint:
+    """One side of the channel (the CVM, or the GPU copy engine)."""
+
+    def __init__(self, name: str, key: bytes, tx_start_iv: int, rx_start_iv: int) -> None:
+        self.name = name
+        self._gcm = AesGcm(key)
+        self.tx_iv = IvStream(tx_start_iv, name=f"{name}.tx")
+        self.rx_iv = IvStream(rx_start_iv, name=f"{name}.rx")
+
+    # -- sending -----------------------------------------------------------
+
+    def encrypt_next(self, plaintext: bytes, nbytes_logical: int = 0) -> EncryptedMessage:
+        """Encrypt with this endpoint's next TX IV (consuming it)."""
+        counter = self.tx_iv.consume()
+        ciphertext, tag = self._gcm.encrypt(iv_from_counter(counter), plaintext)
+        return EncryptedMessage(ciphertext, tag, counter, nbytes_logical or len(plaintext))
+
+    def encrypt_with_iv(self, plaintext: bytes, counter: int, nbytes_logical: int = 0) -> EncryptedMessage:
+        """Encrypt with an explicit (speculative) IV, *not* consuming the stream.
+
+        This is what PipeLLM's pipeline does: it guesses the counter a
+        future transfer will use. Whether the guess was right is only
+        learned when the ciphertext is committed to the channel.
+        """
+        ciphertext, tag = self._gcm.encrypt(iv_from_counter(counter), plaintext)
+        return EncryptedMessage(ciphertext, tag, counter, nbytes_logical or len(plaintext))
+
+    def commit_tx_iv(self) -> int:
+        """Advance the TX counter because a ciphertext was put on the wire."""
+        return self.tx_iv.consume()
+
+    # -- receiving ----------------------------------------------------------
+
+    def decrypt_next(self, message: EncryptedMessage) -> bytes:
+        """Decrypt with this endpoint's next RX IV (consuming it).
+
+        Raises :class:`AuthenticationError` if the sender used a
+        different counter — i.e. the streams desynchronized.
+        """
+        counter = self.rx_iv.consume()
+        return self._gcm.decrypt(iv_from_counter(counter), message.ciphertext, message.tag)
+
+
+class SecureSession:
+    """Factory producing a matched pair of endpoints.
+
+    >>> session = SecureSession(key=bytes(16))
+    >>> cpu, gpu = session.endpoints()
+    >>> msg = cpu.encrypt_next(b"weights")
+    >>> gpu.decrypt_next(msg)
+    b'weights'
+    """
+
+    def __init__(self, key: bytes, h2d_start_iv: int = 1, d2h_start_iv: int = 1) -> None:
+        if len(key) not in (16, 24, 32):
+            raise ValueError("key must be 16, 24 or 32 bytes")
+        self.key = bytes(key)
+        self.h2d_start_iv = h2d_start_iv
+        self.d2h_start_iv = d2h_start_iv
+
+    def endpoints(self) -> Tuple[SessionEndpoint, SessionEndpoint]:
+        """Return the (cpu, gpu) endpoint pair with synchronized IVs."""
+        cpu = SessionEndpoint(
+            "cpu", self.key, tx_start_iv=self.h2d_start_iv, rx_start_iv=self.d2h_start_iv
+        )
+        gpu = SessionEndpoint(
+            "gpu", self.key, tx_start_iv=self.d2h_start_iv, rx_start_iv=self.h2d_start_iv
+        )
+        return cpu, gpu
+
+
+# Re-exported for convenience of callers catching channel auth failures.
+AuthenticationError = AuthenticationError

@@ -1,0 +1,28 @@
+"""Hardware models: host memory, PCIe, crypto engine, GPU enclave."""
+
+from .dma import DmaStaging
+from .engine import CryptoEngine
+from .gpu import GpuEnclave, GpuOutOfMemory
+from .memory import AccessViolation, HostMemory, MemoryChunk, PageFault, Region
+from .params import GB, KB, MB, GpuComputeParams, HardwareParams, default_params
+from .pcie import BusRecord, PcieLink
+
+__all__ = [
+    "AccessViolation",
+    "BusRecord",
+    "CryptoEngine",
+    "DmaStaging",
+    "GB",
+    "GpuComputeParams",
+    "GpuEnclave",
+    "GpuOutOfMemory",
+    "HardwareParams",
+    "HostMemory",
+    "KB",
+    "MB",
+    "MemoryChunk",
+    "PageFault",
+    "PcieLink",
+    "Region",
+    "default_params",
+]

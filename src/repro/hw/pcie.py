@@ -1,0 +1,84 @@
+"""PCIe link model.
+
+Two independent :class:`~repro.sim.resources.BandwidthPipe` directions
+(host→device and device→host), matching the duplex PCIe 5.0 x16 link
+of the paper's testbed. The link carries *ciphertext or plaintext
+alike* — what changes between CC modes is which bandwidth ceiling
+applies (56 GB/s native vs the ≈40 GB/s CC-mode DMA path) and whether
+encryption time is serialized in front of the transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim import BandwidthPipe, Event, Simulator
+from .params import HardwareParams
+
+__all__ = ["BusRecord", "PcieLink"]
+
+
+@dataclass(frozen=True)
+class BusRecord:
+    """What a bus snooper (the §4 attacker) sees of one transfer.
+
+    Only metadata is visible — the payload is AES-GCM ciphertext — but
+    sizes and timing are enough for the side channels §8.1 concedes:
+    1-byte transfers reveal NOP padding, i.e. that the LLM system is
+    swapping and how often predictions miss.
+    """
+
+    time: float
+    direction: str
+    nbytes: int
+
+
+class PcieLink:
+    """Duplex PCIe link with per-direction FIFO occupancy."""
+
+    def __init__(self, sim: Simulator, params: HardwareParams) -> None:
+        self.sim = sim
+        self.params = params
+        self.h2d = BandwidthPipe(
+            sim, params.pcie_bandwidth, latency=params.dma_overhead, name="pcie.h2d"
+        )
+        self.d2h = BandwidthPipe(
+            sim, params.pcie_bandwidth, latency=params.dma_overhead, name="pcie.d2h"
+        )
+        # The CC-mode DMA path (bounce buffers in CVM shared memory)
+        # has its own, lower ceiling; model it as separate pipes so CC
+        # and native traffic queue independently, as on hardware.
+        self.h2d_cc = BandwidthPipe(
+            sim, params.cc_dma_bandwidth, latency=params.dma_overhead, name="pcie.h2d.cc"
+        )
+        self.d2h_cc = BandwidthPipe(
+            sim, params.cc_dma_bandwidth, latency=params.dma_overhead, name="pcie.d2h.cc"
+        )
+        #: Attacker-visible transfer metadata (§8.1 side channels).
+        self.bus_log: List[BusRecord] = []
+
+    def transfer_h2d(self, nbytes: int, cc_path: bool = False) -> Event:
+        """DMA ``nbytes`` to the device; returns a completion event."""
+        self.bus_log.append(BusRecord(self.sim.now, "h2d", nbytes))
+        pipe = self.h2d_cc if cc_path else self.h2d
+        return pipe.transfer(nbytes)
+
+    def transfer_d2h(self, nbytes: int, cc_path: bool = False) -> Event:
+        """DMA ``nbytes`` to the host; returns a completion event."""
+        self.bus_log.append(BusRecord(self.sim.now, "d2h", nbytes))
+        pipe = self.d2h_cc if cc_path else self.d2h
+        return pipe.transfer(nbytes)
+
+    def observed_nops(self, nop_bytes: int = 1) -> int:
+        """How many NOP-sized transfers a snooper counted (§8.1)."""
+        return sum(1 for record in self.bus_log if record.nbytes == nop_bytes)
+
+    @property
+    def bytes_moved(self) -> int:
+        return (
+            self.h2d.bytes_moved
+            + self.d2h.bytes_moved
+            + self.h2d_cc.bytes_moved
+            + self.d2h_cc.bytes_moved
+        )

@@ -1,0 +1,17 @@
+"""LLM geometry and GPU cost models."""
+
+from .kvcache import KvGeometry
+from .specs import MODELS, ModelSpec, OPT_13B, OPT_30B, OPT_66B, OPT_175B_4BIT
+from .transformer import LayerWork, TransformerCostModel
+
+__all__ = [
+    "KvGeometry",
+    "LayerWork",
+    "MODELS",
+    "ModelSpec",
+    "OPT_13B",
+    "OPT_175B_4BIT",
+    "OPT_30B",
+    "OPT_66B",
+    "TransformerCostModel",
+]

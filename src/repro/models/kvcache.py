@@ -1,0 +1,47 @@
+"""Paged KV-cache accounting (vLLM-style block geometry).
+
+vLLM partitions each sequence's KV cache into fixed-size blocks of
+``block_size`` tokens. :class:`KvGeometry` converts between tokens,
+blocks and bytes for a given model, and computes how many blocks fit
+in the GPU memory left over after the weights — the quantity that
+determines when swapping starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .specs import ModelSpec
+
+__all__ = ["KvGeometry"]
+
+
+@dataclass(frozen=True)
+class KvGeometry:
+    """Block geometry of the paged KV cache for one model."""
+
+    spec: ModelSpec
+    block_size: int = 16  # tokens per block (vLLM default)
+
+    @property
+    def block_bytes(self) -> int:
+        """Bytes of one block across ALL layers (the swap unit used by
+        request-wise swapping is a whole sequence = many such blocks)."""
+        return self.block_size * self.spec.kv_bytes_per_token()
+
+    def blocks_for_tokens(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` tokens (ceiling)."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        return -(-tokens // self.block_size)
+
+    def bytes_for_tokens(self, tokens: int) -> int:
+        return self.blocks_for_tokens(tokens) * self.block_bytes
+
+    def gpu_block_budget(self, gpu_memory_bytes: int, reserved_bytes: int = 0) -> int:
+        """How many KV blocks fit beside the weights (and a reserve for
+        activations/workspace) in GPU memory."""
+        available = gpu_memory_bytes - self.spec.total_bytes - reserved_bytes
+        if available <= 0:
+            return 0
+        return int(available // self.block_bytes)

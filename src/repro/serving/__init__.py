@@ -1,0 +1,25 @@
+"""LLM system substrates: FlexGen-, vLLM- and PEFT-like engines."""
+
+from .flexgen import FlexGenConfig, FlexGenEngine, FlexGenResult
+from .layerwise import LayerwiseConfig, LayerwiseKvEngine, LayerwiseResult
+from .peft import PeftConfig, PeftEngine, PeftResult
+from .vllm import VllmConfig, VllmEngine, VllmResult
+from .zero import ZeroOffloadConfig, ZeroOffloadEngine, ZeroOffloadResult
+
+__all__ = [
+    "FlexGenConfig",
+    "FlexGenEngine",
+    "FlexGenResult",
+    "LayerwiseConfig",
+    "LayerwiseKvEngine",
+    "LayerwiseResult",
+    "PeftConfig",
+    "PeftEngine",
+    "PeftResult",
+    "VllmConfig",
+    "VllmEngine",
+    "VllmResult",
+    "ZeroOffloadConfig",
+    "ZeroOffloadEngine",
+    "ZeroOffloadResult",
+]

@@ -1,0 +1,16 @@
+"""vLLM-like serving substrate: paged KV cache + request-wise swapping."""
+
+from .block_manager import BlockAllocationError, BlockManager
+from .engine import VllmConfig, VllmEngine, VllmResult
+from .scheduler import GroupState, SchedulerState, SequenceGroup
+
+__all__ = [
+    "BlockAllocationError",
+    "BlockManager",
+    "GroupState",
+    "SchedulerState",
+    "SequenceGroup",
+    "VllmConfig",
+    "VllmEngine",
+    "VllmResult",
+]

@@ -1,0 +1,206 @@
+"""ZeRO-Offload-style full fine-tuning (DeepSpeed, §2.1).
+
+The paper's PEFT case study fine-tunes LoRA adapters: the streamed
+base weights are read-only, PipeLLM's favorite case. DeepSpeed's
+ZeRO-Offload also supports *full* fine-tuning — fp16 weights stream to
+the GPU per layer, gradients stream back per layer, and a CPU-side
+Adam step updates the master weights between steps.
+
+That makes the weight stream **read-write**: every host weight buffer
+is rewritten once per step by the optimizer. For PipeLLM this is the
+adversarial case for weight speculation:
+
+* ciphertext staged *before* the optimizer step is stale and must die
+  through the page-protection fault (§5.2), never ship;
+* ciphertext staged *after* the update is valid for the whole next
+  step — so prediction still wins, it just must re-encrypt once per
+  layer per step;
+* the gradient stream doubles the D2H volume, loading the
+  asynchronous decryptor and the decryption thread pool.
+
+The engine mirrors :class:`~repro.serving.peft.PeftEngine`'s structure
+(forward layer order, backward reversed, prefetch window) plus the
+per-layer gradient swap-outs and the CPU optimizer phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cc.api import DeviceRuntime, TransferHandle
+from ..cc.machine import Machine
+from ..hw.memory import MemoryChunk, Region
+from ..models import ModelSpec, TransformerCostModel
+from ..sim import SeededRng
+from ..workloads import FineTuneBatch
+
+__all__ = ["ZeroOffloadConfig", "ZeroOffloadEngine", "ZeroOffloadResult"]
+
+_PREFETCH_DEPTH = 2
+_PAYLOAD_BYTES = 20
+_BACKWARD_FACTOR = 2.0
+
+#: CPU Adam step throughput over the fp32 master weights (B/s): reads
+#: master+grad+two moments, writes master+moments — DDR-bound.
+_OPTIMIZER_BANDWIDTH = 20e9
+
+
+@dataclass
+class ZeroOffloadConfig:
+    """One full fine-tuning test case."""
+
+    spec: ModelSpec
+    batches: List[FineTuneBatch]
+    #: Layers resident on the GPU; the rest stream per pass.
+    resident_layers: int = 0
+    seed: int = 1
+
+
+@dataclass
+class ZeroOffloadResult:
+    config_label: str
+    total_tokens: int
+    steps: int
+    elapsed: float
+    offloaded_layers: int
+
+    @property
+    def throughput(self) -> float:
+        return self.total_tokens / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class ZeroOffloadEngine:
+    """Full fine-tuning with weight + gradient streaming."""
+
+    def __init__(self, machine: Machine, runtime: DeviceRuntime, config: ZeroOffloadConfig) -> None:
+        if not config.batches:
+            raise ValueError("config.batches must not be empty")
+        self.machine = machine
+        self.runtime = runtime
+        self.config = config
+        self.cost = TransformerCostModel(config.spec)
+        self._rng = SeededRng(config.seed)
+        spec = config.spec
+
+        self.n_resident = max(0, min(spec.n_layers, config.resident_layers))
+        self.offloaded = list(range(self.n_resident, spec.n_layers))
+        runtime.hint_weight_chunk_size(spec.layer_bytes)
+
+        #: Host fp16 weights per offloaded layer — REWRITTEN each step.
+        self._weights: Dict[int, Region] = {}
+        #: Host gradient buffers per offloaded layer (D2H destinations).
+        self._grads: Dict[int, Region] = {}
+        for layer in self.offloaded:
+            self._weights[layer] = machine.host_memory.allocate(
+                spec.layer_bytes, tag=f"{spec.name}.zero.w.{layer}",
+                payload=self._weight_payload(layer, step=-1),
+            )
+            self._grads[layer] = machine.host_memory.allocate(
+                spec.layer_bytes, tag=f"{spec.name}.zero.g.{layer}"
+            )
+
+        self.swap_in_count = 0
+        self.result: Optional[ZeroOffloadResult] = None
+
+    @staticmethod
+    def _weight_payload(layer: int, step: int) -> bytes:
+        return f"w-L{layer}-s{step}".encode()[:_PAYLOAD_BYTES]
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self) -> ZeroOffloadResult:
+        self.machine.sim.process(self._main())
+        self.machine.run()
+        if self.result is None:
+            raise RuntimeError("ZeRO-Offload run did not complete")
+        return self.result
+
+    # -- training loop ----------------------------------------------------------
+
+    def _main(self):
+        config = self.config
+        sim = self.machine.sim
+        start = sim.now
+        spec = config.spec
+
+        inflight: Dict[int, TransferHandle] = {}
+        schedule: List[int] = []
+        per_step = self.offloaded + list(reversed(self.offloaded))
+        for _ in config.batches:
+            schedule.extend(per_step)
+        cursor = 0
+
+        def issue_prefetch():
+            nonlocal cursor
+            while cursor < len(schedule) and len(inflight) < _PREFETCH_DEPTH:
+                layer = schedule[cursor]
+                if layer in inflight:
+                    break
+                region = self._weights[layer]
+                yield self.runtime.cpu_access(region.addr)
+                chunk = self.machine.host_memory.chunk_at(region.addr)
+                handle = self.runtime.memcpy_h2d(chunk)
+                yield handle.api_done
+                inflight[layer] = handle
+                cursor += 1
+
+        for step_index, batch in enumerate(config.batches):
+            tokens = batch.total_tokens
+            # Forward, then backward with per-layer gradient swap-outs.
+            for phase, factor in (("forward", 1.0), ("backward", _BACKWARD_FACTOR)):
+                order = (
+                    range(spec.n_layers)
+                    if phase == "forward"
+                    else range(spec.n_layers - 1, -1, -1)
+                )
+                for layer in order:
+                    if layer in self._weights:
+                        yield from issue_prefetch()
+                        handle = inflight.pop(layer, None)
+                        if handle is None:
+                            region = self._weights[layer]
+                            yield self.runtime.cpu_access(region.addr)
+                            chunk = self.machine.host_memory.chunk_at(region.addr)
+                            handle = self.runtime.memcpy_h2d(chunk)
+                            yield handle.api_done
+                        yield handle.complete
+                        self.swap_in_count += 1
+                    work = self.cost.prefill_layer(tokens)
+                    compute = self.machine.gpu.compute(
+                        factor * work.flops, work.bytes_touched, layers=1
+                    )
+                    yield from issue_prefetch()
+                    yield compute
+                    if phase == "backward" and layer in self._grads:
+                        grad = self._grads[layer]
+                        tag = grad.tag
+                        self.machine.gpu._contents[tag] = f"g-L{layer}-s{step_index}".encode()
+                        out = self.runtime.memcpy_d2h(
+                            MemoryChunk(grad.addr, spec.layer_bytes,
+                                        self.machine.gpu._contents[tag], tag)
+                        )
+                        yield out.api_done
+
+            # CPU optimizer phase: wait for gradients, run Adam over the
+            # master weights, rewrite the fp16 weight buffers in place.
+            yield self.runtime.synchronize()
+            optimizer_bytes = 0
+            for layer in self.offloaded:
+                yield self.runtime.cpu_access(self._grads[layer].addr)
+                optimizer_bytes += 6 * spec.layer_bytes  # fp32 master+moments r/w
+            yield sim.timeout(optimizer_bytes / _OPTIMIZER_BANDWIDTH)
+            for layer in self.offloaded:
+                # The in-place update: staged weight ciphertext for this
+                # layer dies here through the write fault.
+                self.machine.host_memory.write(
+                    self._weights[layer].addr, self._weight_payload(layer, step_index)
+                )
+
+        self.result = ZeroOffloadResult(
+            config_label=f"{spec.name} zero-offload",
+            total_tokens=sum(b.total_tokens for b in config.batches),
+            steps=len(config.batches),
+            elapsed=sim.now - start,
+            offloaded_layers=len(self.offloaded),
+        )

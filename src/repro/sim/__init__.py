@@ -1,0 +1,39 @@
+"""Deterministic discrete-event simulation substrate for the PipeLLM repro."""
+
+from .core import (
+    Condition,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import BandwidthPipe, Resource, Store, WorkerPool
+from .rng import SeededRng
+from .stats import Counter, LatencyStat, MetricSet, TimeSeries, mean, percentile
+from .tracing import Span, SpanTracer, render_gantt
+
+__all__ = [
+    "BandwidthPipe",
+    "Condition",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "LatencyStat",
+    "MetricSet",
+    "Process",
+    "Resource",
+    "SeededRng",
+    "SimulationError",
+    "Span",
+    "SpanTracer",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TimeSeries",
+    "WorkerPool",
+    "mean",
+    "percentile",
+    "render_gantt",
+]

@@ -1,0 +1,301 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, dependency-free simulator in the style of
+SimPy: *processes* are Python generators that ``yield`` events; the
+:class:`Simulator` advances virtual time and resumes processes when the
+events they wait on trigger.
+
+Design goals:
+
+* **Determinism** — given the same seed and the same process creation
+  order, a simulation always produces the same schedule. Events that
+  trigger at the same timestamp are processed in insertion order.
+* **Zero dependencies** — the kernel uses only ``heapq`` and
+  ``itertools``.
+* **Small surface** — everything the PipeLLM models need (timeouts,
+  one-shot events, ``all_of``/``any_of`` combinators, preemptible-free
+  resources, FIFO stores) and nothing else.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. triggering an event twice)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling all registered callbacks at the current
+    simulation time. Waiting on an already-triggered event resumes the
+    waiter immediately (at the current time), which makes events safe
+    to use as completion handles.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception of the event."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._dispatch(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see the exception raised."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._dispatch(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run *callback(event)* when the event triggers.
+
+        If the event has already triggered the callback is scheduled
+        immediately (still through the event queue, preserving
+        determinism).
+        """
+        if self.callbacks is None:
+            # Already dispatched: schedule a zero-delay firing.
+            self.sim._schedule_callback(lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule(sim.now + delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on completion.
+
+    The generator yields :class:`Event` instances. When a yielded event
+    succeeds, the process resumes with ``event.value``; when it fails,
+    the exception is thrown into the generator.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError("process() requires a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        sim._schedule_callback(lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        self.sim._schedule_callback(
+            lambda: self._resume(None, Interrupt(cause)) if not self.triggered else None
+        )
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # Stale wake-up (e.g. interrupted while waiting).
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.value)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly.
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(SimulationError(f"process yielded non-event: {target!r}"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Condition(Event):
+    """Base for :func:`Simulator.all_of` / :func:`Simulator.any_of`."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], need_all: bool) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._need_all = need_all
+        self._pending = 0
+        for event in self._events:
+            if event.triggered:
+                continue
+            self._pending += 1
+            event.add_callback(self._on_child)
+        if self._satisfied():
+            # Trigger through the queue so waiters always see a
+            # consistent "register first, fire later" order.
+            sim._schedule_callback(self._maybe_fire)
+
+    def _satisfied(self) -> bool:
+        done = sum(1 for e in self._events if e.triggered)
+        if self._need_all:
+            return done == len(self._events)
+        return done >= 1 or not self._events
+
+    def _maybe_fire(self) -> None:
+        if self.triggered or not self._satisfied():
+            return
+        failures = [e.value for e in self._events if e.triggered and not e.ok]
+        if failures:
+            self.fail(failures[0])
+        else:
+            self.succeed([e.value for e in self._events if e.triggered])
+
+    def _on_child(self, _event: Event) -> None:
+        self._maybe_fire()
+
+
+class Simulator:
+    """The event loop: a priority queue of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List = []
+        self._counter = itertools.count()
+        # Optional span tracer (see repro.sim.tracing); disabled by
+        # default so instrumented components stay overhead-free.
+        from .tracing import SpanTracer
+
+        self.tracer = SpanTracer(enabled=False)
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(self, when: float, func: Callable, *args: Any) -> None:
+        heapq.heappush(self._queue, (when, next(self._counter), func, args))
+
+    def _schedule_callback(self, func: Callable) -> None:
+        self._schedule(self.now, func)
+
+    def _dispatch(self, event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                self._schedule(self.now, callback, event)
+
+    # -- public API ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Launch a generator as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that triggers when *all* of ``events`` have triggered."""
+        return Condition(self, events, need_all=True)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event that triggers when *any* of ``events`` has triggered."""
+        return Condition(self, events, need_all=False)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced exactly to it
+        even if the queue drains earlier.
+        """
+        while self._queue:
+            when, _tie, func, args = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            func(*args)
+        if until is not None and self.now < until:
+            self.now = until
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next scheduled callback, or None if idle."""
+        return self._queue[0][0] if self._queue else None

@@ -1,0 +1,143 @@
+"""Measurement helpers: counters, latency accumulators, time series.
+
+All benchmark figures are computed from these primitives so that every
+experiment reports through the same machinery (mean / percentile /
+throughput definitions are written once).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100])."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return data[low]
+    frac = rank - low
+    value = data[low] * (1.0 - frac) + data[high] * frac
+    # Clamp against floating-point drift past the observed extremes.
+    return min(max(value, data[0]), data[-1])
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class LatencyStat:
+    """Accumulates individual latency samples and summarizes them."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return mean(self.samples)
+
+    def p(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p(50),
+            "p90": self.p(90),
+            "p99": self.p(99),
+            "max": max(self.samples) if self.samples else 0.0,
+        }
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. queue depth or bandwidth over time."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def time_weighted_mean(self, horizon: Optional[float] = None) -> float:
+        """Mean of a piecewise-constant signal over its recorded span."""
+        if not self.points:
+            return 0.0
+        end = horizon if horizon is not None else self.points[-1][0]
+        total = 0.0
+        for (t0, v0), (t1, _v1) in zip(self.points, self.points[1:]):
+            total += v0 * (t1 - t0)
+        last_t, last_v = self.points[-1]
+        if end > last_t:
+            total += last_v * (end - last_t)
+        span = end - self.points[0][0]
+        return total / span if span > 0 else self.points[-1][1]
+
+
+class MetricSet:
+    """A registry of named metrics owned by one simulation run."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.latencies: Dict[str, LatencyStat] = {}
+        self.series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def latency(self, name: str) -> LatencyStat:
+        if name not in self.latencies:
+            self.latencies[name] = LatencyStat(name)
+        return self.latencies[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of counter values and latency means, for reports."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[name] = float(counter.value)
+        for name, stat in self.latencies.items():
+            out[f"{name}.mean"] = stat.mean
+            out[f"{name}.count"] = float(stat.count)
+        return out

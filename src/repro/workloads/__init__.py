@@ -1,0 +1,26 @@
+"""Workload generators: synthetic shapes, trace stand-ins, fine-tuning."""
+
+from .finetune import ultrachat_batches
+from .requests import FineTuneBatch, Request
+from .synthetic import (
+    FLEXGEN_256_32,
+    FLEXGEN_32_128,
+    SyntheticShape,
+    synthetic_requests,
+)
+from .traces import ALPACA, SHAREGPT, TraceSpec, generate_trace, poisson_trace
+
+__all__ = [
+    "ALPACA",
+    "FLEXGEN_256_32",
+    "FLEXGEN_32_128",
+    "FineTuneBatch",
+    "Request",
+    "SHAREGPT",
+    "SyntheticShape",
+    "TraceSpec",
+    "generate_trace",
+    "poisson_trace",
+    "synthetic_requests",
+    "ultrachat_batches",
+]

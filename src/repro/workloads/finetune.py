@@ -1,0 +1,45 @@
+"""Fine-tuning batches: an ultrachat-like stand-in (§7.1).
+
+The paper fine-tunes with LoRA on the ultrachat dataset (~6k
+sequences per epoch). Only the token volume per micro-batch matters
+for the offloading traffic, so we sample conversation lengths from a
+clamped lognormal with ultrachat-like statistics (multi-turn chats,
+mean ≈1.1k tokens).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim import SeededRng
+from .requests import FineTuneBatch
+
+__all__ = ["ultrachat_batches"]
+
+_MEAN_TOKENS = 1100.0
+_SIGMA = 0.6
+_MAX_TOKENS = 2048
+
+
+def ultrachat_batches(
+    n_batches: int,
+    batch_size: int,
+    rng: SeededRng,
+) -> List[FineTuneBatch]:
+    """Sample ``n_batches`` micro-batches of ``batch_size`` sequences."""
+    if n_batches <= 0 or batch_size <= 0:
+        raise ValueError("n_batches and batch_size must be positive")
+    import math
+
+    mu = math.log(_MEAN_TOKENS) - 0.5 * _SIGMA * _SIGMA
+    stream = rng.fork("ultrachat")
+    return [
+        FineTuneBatch(
+            batch_id=b,
+            seq_lens=[
+                stream.lognormal_int(mu, _SIGMA, 64, _MAX_TOKENS)
+                for _ in range(batch_size)
+            ],
+        )
+        for b in range(n_batches)
+    ]

@@ -1,0 +1,46 @@
+"""Synthetic fixed-length workloads (FlexGen-style, §7.1).
+
+The paper evaluates FlexGen with synthetic datasets at fixed
+(input, output) shapes — (32, 128) and (256, 32) — and 1000 requests
+per test case, batched for maximum throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .requests import Request
+
+__all__ = ["SyntheticShape", "FLEXGEN_32_128", "FLEXGEN_256_32", "synthetic_requests"]
+
+
+@dataclass(frozen=True)
+class SyntheticShape:
+    """A fixed (prompt, output) token shape."""
+
+    prompt_len: int
+    output_len: int
+
+    @property
+    def label(self) -> str:
+        return f"in{self.prompt_len}/out{self.output_len}"
+
+
+FLEXGEN_32_128 = SyntheticShape(prompt_len=32, output_len=128)
+FLEXGEN_256_32 = SyntheticShape(prompt_len=256, output_len=32)
+
+
+def synthetic_requests(shape: SyntheticShape, count: int) -> List[Request]:
+    """``count`` identical requests arriving at time zero."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return [
+        Request(
+            request_id=i,
+            arrival_time=0.0,
+            prompt_len=shape.prompt_len,
+            output_len=shape.output_len,
+        )
+        for i in range(count)
+    ]

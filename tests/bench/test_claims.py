@@ -1,0 +1,51 @@
+"""Claims-registry tests (the reproduction scorecard)."""
+
+import pytest
+
+from repro.bench import CLAIMS, verify_claims
+from repro.bench.claims import ClaimOutcome, render_outcomes
+
+
+class TestRegistry:
+    def test_every_eval_figure_claimed(self):
+        experiments = {claim.experiment.__name__ for claim in CLAIMS}
+        for name in (
+            "fig2_microbenchmark",
+            "fig3a_flexgen_overhead",
+            "fig3c_peft_overhead",
+            "fig7_model_offloading",
+            "fig8_kv_swapping",
+            "fig9_threading",
+            "fig10_success_rate",
+        ):
+            assert name in experiments
+
+    def test_ids_unique(self):
+        ids = [claim.claim_id for claim in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_statements_cite_paper_values(self):
+        for claim in CLAIMS:
+            assert claim.paper_value
+
+
+class TestVerification:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        # The cheapest claims subset: run the fig2-based claim only by
+        # filtering; the full scorecard runs as `python -m repro claims`
+        # and in the benchmark suite.
+        from repro.bench.claims import CLAIMS as ALL
+
+        cheap = [c for c in ALL if c.experiment.__name__ == "fig2_microbenchmark"]
+        result = cheap[0].experiment("quick")
+        return [ClaimOutcome(c, *c.check(result)) for c in cheap]
+
+    def test_cheap_claims_pass(self, outcomes):
+        assert all(outcome.passed for outcome in outcomes)
+
+    def test_render(self, outcomes):
+        text = render_outcomes(outcomes)
+        assert "PASS" in text
+        assert "paper:" in text and "measured:" in text
+        assert f"{len(outcomes)}/{len(outcomes)} claims reproduced" in text

@@ -1,0 +1,53 @@
+"""CLI tests (``python -m repro``)."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_every_experiment(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for name in EXPERIMENTS:
+            assert name in text
+
+    def test_registry_covers_all_paper_figures(self):
+        for figure in ("fig2", "fig3a", "fig3b", "fig3c", "fig7", "fig8", "fig9", "fig10"):
+            assert figure in EXPERIMENTS
+
+
+class TestSystems:
+    def test_describes_systems(self):
+        code, text = run_cli("systems")
+        assert code == 0
+        for name in ("w/o CC", "CC-4t", "PipeLLM-0", "TEE-I/O"):
+            assert name in text
+
+
+class TestRun:
+    def test_runs_fig2(self):
+        code, text = run_cli("run", "fig2")
+        assert code == 0
+        assert "32MB" in text
+        assert "throughput_gbps" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "fig99")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "fig2", "--scale", "huge")
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            run_cli()

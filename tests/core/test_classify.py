@@ -1,0 +1,61 @@
+"""Transfer-classifier tests (§4.2 size heuristics)."""
+
+import pytest
+
+from repro.core import SwapClass, TransferClass, TransferClassifier
+
+
+@pytest.fixture
+def classifier():
+    c = TransferClassifier()
+    c.register_weight_size(2 << 30)
+    c.register_kv_block_size(22 << 20)
+    return c
+
+
+class TestClassification:
+    def test_small_below_threshold(self, classifier):
+        assert classifier.classify(8 * 1024) is TransferClass.SMALL
+        assert classifier.classify(128 * 1024 - 1) is TransferClass.SMALL
+
+    def test_exact_weight_size(self, classifier):
+        assert classifier.classify(2 << 30) is TransferClass.WEIGHTS
+
+    def test_exact_kv_size(self, classifier):
+        assert classifier.classify(22 << 20) is TransferClass.KV_CACHE
+
+    def test_unknown_large_is_swap_other(self, classifier):
+        assert classifier.classify(512 << 20) is TransferClass.SWAP_OTHER
+
+    def test_is_swap(self, classifier):
+        assert not classifier.is_swap(1024)
+        assert classifier.is_swap(1 << 20)
+
+
+class TestSwapClassRouting:
+    def test_small_has_no_stream(self, classifier):
+        assert classifier.swap_class(1024) is None
+
+    def test_weights_route(self, classifier):
+        assert classifier.swap_class(2 << 30) is SwapClass.WEIGHTS
+
+    def test_kv_route(self, classifier):
+        assert classifier.swap_class(22 << 20) is SwapClass.KV_CACHE
+
+    def test_unknown_large_defaults_to_kv(self, classifier):
+        # KV geometry varies with batch shape; weight sizes are exact.
+        assert classifier.swap_class(300 << 20) is SwapClass.KV_CACHE
+
+
+class TestValidation:
+    def test_bad_sizes_rejected(self):
+        c = TransferClassifier()
+        with pytest.raises(ValueError):
+            c.register_weight_size(0)
+        with pytest.raises(ValueError):
+            c.register_kv_block_size(-5)
+
+    def test_custom_threshold(self):
+        c = TransferClassifier(swap_threshold=1024)
+        assert c.is_swap(2048)
+        assert not c.is_swap(512)

@@ -1,0 +1,43 @@
+"""PipeLLMConfig validation tests."""
+
+import pytest
+
+from repro.core import PipeLLMConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = PipeLLMConfig()
+        assert config.swap_threshold == 128 * 1024
+        assert config.async_decrypt
+        assert config.adaptive_leeway
+        assert config.sabotage is None
+        assert config.kv_depth <= config.depth
+
+    def test_leeway_economics_documented_in_bounds(self):
+        config = PipeLLMConfig()
+        # NOPs are cheap: the ceiling must allow substantial headroom.
+        assert config.max_leeway >= 32
+
+
+class TestValidation:
+    def test_depth_positive(self):
+        with pytest.raises(ValueError):
+            PipeLLMConfig(depth=0)
+
+    def test_leeway_non_negative(self):
+        with pytest.raises(ValueError):
+            PipeLLMConfig(leeway=-1)
+        with pytest.raises(ValueError):
+            PipeLLMConfig(max_leeway=-1)
+
+    def test_threshold_positive(self):
+        with pytest.raises(ValueError):
+            PipeLLMConfig(swap_threshold=0)
+
+    def test_sabotage_checked_downstream(self):
+        # The config carries the string; the predictor validates it.
+        from repro.core import SwapPredictor, TransferClassifier
+
+        with pytest.raises(ValueError):
+            SwapPredictor(TransferClassifier(), sabotage="nonsense")

@@ -1,0 +1,181 @@
+"""Error-handler scenarios (§5.3): re-ordering, NOPs, relinquish.
+
+Includes a direct reconstruction of the paper's Figure 6 example.
+"""
+
+import pytest
+
+from repro.cc import CcMode, build_machine
+from repro.core import PipeLLMConfig, PipeLLMRuntime
+from repro.hw import MB, MemoryChunk
+
+KV = 4 * MB
+
+
+def make(**cfg):
+    machine = build_machine(CcMode.ENABLED, enc_threads=4, dec_threads=2)
+    defaults = dict(kv_depth=8, depth=8)
+    defaults.update(cfg)
+    runtime = PipeLLMRuntime(machine, PipeLLMConfig(**defaults))
+    return machine, runtime
+
+
+def swap_out_n(machine, runtime, count):
+    """Swap out ``count`` KV chunks (oldest first) and settle."""
+    regions = []
+    for i in range(count):
+        region = machine.host_memory.allocate(KV, f"kv.{i}")
+        machine.gpu._contents[f"kv.{i}"] = f"data-{i}".encode()
+        regions.append(region)
+
+    def out():
+        for region in regions:
+            handle = runtime.memcpy_d2h(MemoryChunk(region.addr, KV, b"", region.tag))
+            yield handle.api_done
+        yield runtime.synchronize()
+        yield machine.sim.timeout(0.2)  # let decryption + staging finish
+
+    machine.sim.process(out())
+    machine.run()
+    return regions
+
+
+class TestFigure6:
+    def test_reorder_and_nop_padding(self):
+        """Figure 6: request data3 (staged IV 3), then data1 (IV 1),
+        then sync. data1 ships immediately, data3 is suspended, the
+        sync pads a NOP over data2's IV and commits data3."""
+        machine, runtime = make()
+        swap_out_n(machine, runtime, 3)
+        ordered = sorted(runtime.pipeline.valid_entries, key=lambda e: e.iv)
+        assert len(ordered) == 3
+        low, _mid, high = ordered  # "data1", "data2", "data3" of Fig. 6
+
+        def app():
+            # "data3": request the entry with the HIGHEST staged IV.
+            h_high = runtime.memcpy_h2d(machine.host_memory.chunk_at(high.chunk.addr))
+            yield h_high.api_done
+            # "data1": then the entry with the LOWEST staged IV.
+            h_low = runtime.memcpy_h2d(machine.host_memory.chunk_at(low.chunk.addr))
+            yield h_low.api_done
+            yield runtime.synchronize()
+            assert h_high.complete.triggered
+            assert h_low.complete.triggered
+
+        machine.sim.process(app())
+        machine.run()
+        assert machine.gpu.auth_failures == 0
+        stats = runtime.stats()
+        assert stats["deferred"] == 1          # data3 was suspended
+        assert stats["nops_sent"] >= 1         # data2's IV was padded over
+        assert stats["misses"] == 0            # both served from staging
+        assert machine.gpu.read_plaintext(high.chunk.tag) == machine.host_memory.read(
+            high.chunk.addr
+        )
+
+    def test_skipped_entry_is_invalidated(self):
+        machine, runtime = make()
+        swap_out_n(machine, runtime, 3)
+        high = max(runtime.pipeline.valid_entries, key=lambda e: e.iv)
+
+        def app():
+            # Request only the highest-IV entry; the NOPs at the sync
+            # boundary skip (and kill) the entries staged below it.
+            handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(high.chunk.addr))
+            yield handle.api_done
+            yield runtime.synchronize()
+
+        machine.sim.process(app())
+        machine.run()
+        assert machine.gpu.auth_failures == 0
+        assert runtime.pipeline.invalidated_by_iv_skip >= 1
+
+
+class TestWatchdog:
+    def test_deferred_resolves_without_sync(self):
+        """An app that waits on the transfer itself (FlexGen style)
+        must not deadlock when its request was suspended."""
+        machine, runtime = make()
+        regions = swap_out_n(machine, runtime, 3)
+        done = []
+
+        def app():
+            handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(regions[0].addr))
+            yield handle.complete  # no synchronize() anywhere
+            done.append(machine.sim.now)
+
+        machine.sim.process(app())
+        machine.run()
+        assert done, "deferred request never resolved"
+        assert machine.gpu.auth_failures == 0
+
+
+class TestOnDemandMiss:
+    def test_unpredicted_chunk_served_on_demand(self):
+        machine, runtime = make()
+        region = machine.host_memory.allocate(KV, "surprise", b"unexpected")
+
+        def app():
+            handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(region.addr))
+            yield handle.complete
+
+        machine.sim.process(app())
+        machine.run()
+        assert machine.gpu.auth_failures == 0
+        assert runtime.stats()["misses"] == 1
+        assert machine.gpu.read_plaintext("surprise") == b"unexpected"
+
+    def test_miss_kills_conflicting_staged_entry(self):
+        machine, runtime = make(leeway=0, adaptive_leeway=False)
+        regions = swap_out_n(machine, runtime, 1)
+        entry = runtime.pipeline.valid_entries[0]
+        surprise = machine.host_memory.allocate(KV, "surprise", b"u")
+
+        def app():
+            # The on-demand miss consumes exactly the staged entry's IV.
+            handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(surprise.addr))
+            yield handle.complete
+
+        assert entry.iv == machine.cpu_endpoint.tx_iv.current
+        machine.sim.process(app())
+        machine.run()
+        assert machine.gpu.auth_failures == 0
+        assert not entry.valid
+        assert entry.invalid_reason in ("iv-skipped", "left-prediction-window")
+
+
+class TestRelinquish:
+    def test_consecutive_stales_relinquish(self):
+        machine, runtime = make()
+        swap_out_n(machine, runtime, 4)
+        # Force every staged entry stale by consuming IVs behind the
+        # pipeline's back via small transfers... then request swaps.
+        small = machine.host_memory.allocate(1024, "tok", b"t")
+        regions2 = [machine.host_memory.allocate(KV, f"x{i}", b"y") for i in range(3)]
+
+        def app():
+            for region in regions2:
+                handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(region.addr))
+                yield handle.complete
+
+        machine.sim.process(app())
+        machine.run()
+        assert machine.gpu.auth_failures == 0
+
+
+class TestPipeLLMZero:
+    def test_reversed_predictions_still_safe(self):
+        machine, runtime = make(sabotage="reverse")
+        regions = swap_out_n(machine, runtime, 3)
+
+        def app():
+            for region in reversed(regions):  # true LIFO resume order
+                handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(region.addr))
+                yield handle.api_done
+            yield runtime.synchronize()
+
+        machine.sim.process(app())
+        machine.run()
+        assert machine.gpu.auth_failures == 0
+        for i in range(3):
+            assert machine.gpu.read_plaintext(f"kv.{i}") == f"data-{i}".encode()

@@ -1,0 +1,79 @@
+"""MarkovDetector tests — the learned-predictor extension (§5.1
+future work: replace the hand-written pattern heuristics with a
+learned f)."""
+
+import pytest
+
+from repro.core import MarkovDetector, SwapClass, SwapPredictor, TransferClassifier
+
+
+def key(i):
+    return (i * 4096, 1 << 20)
+
+
+class TestLearning:
+    def test_learns_periodic_sequence(self):
+        det = MarkovDetector()
+        for k in [key(0), key(1), key(2)] * 3:
+            det.observe_swap_in(k)
+        # Last seen key(2): its most common successor is key(0).
+        assert det.predict(3) == [key(0), key(1), key(2)]
+
+    def test_learns_majority_successor(self):
+        det = MarkovDetector()
+        # A -> B twice, A -> C once: predict B after A.
+        for successor in (1, 2, 1):
+            det.observe_swap_in(key(0))
+            det.observe_swap_in(key(successor))
+        det.observe_swap_in(key(0))
+        assert det.predict(1) == [key(1)]
+
+    def test_no_prediction_cold(self):
+        assert MarkovDetector().predict(3) == []
+
+    def test_prediction_walk_terminates_on_cycle(self):
+        det = MarkovDetector()
+        for k in [key(0), key(1)] * 4:
+            det.observe_swap_in(k)
+        # A two-cycle: the walk must stop rather than loop forever.
+        preds = det.predict(100)
+        assert 1 <= len(preds) <= 100
+
+    def test_score_rises_on_predictable_traffic(self):
+        det = MarkovDetector()
+        for k in [key(0), key(1), key(2), key(3)] * 6:
+            det.observe_swap_in(k)
+        assert det.score > 0.8
+
+    def test_successor_table_bounded(self):
+        det = MarkovDetector(max_successors=4)
+        for i in range(1, 20):
+            det.observe_swap_in(key(0))
+            det.observe_swap_in(key(i))
+        assert len(det._transitions[key(0)]) <= 4
+
+
+class TestIntegration:
+    def test_markov_races_with_builtin_detectors(self):
+        predictor = SwapPredictor(TransferClassifier())
+        scores = predictor.scores()
+        assert "kv_cache.markov" in scores
+        assert "weights.markov" in scores
+
+    def test_markov_wins_on_non_lifo_kv_traffic(self):
+        """Swap-outs in order A,B,C but swap-ins always B,C,A: neither
+        pure LIFO nor pure FIFO fits, while the transition structure
+        is exactly learnable."""
+        predictor = SwapPredictor(TransferClassifier())
+        size = 300 << 20
+        a, b, c = 1 << 32, 2 << 32, 3 << 32
+        for _ in range(8):
+            for addr in (a, b, c):
+                predictor.observe_swap_out(addr, size)
+            for addr in (b, c, a):
+                predictor.observe_swap_in(addr, size)
+        scores = predictor.scores()
+        best = predictor.best_detector(SwapClass.KV_CACHE)
+        assert best.name in ("markov", "repetitive")
+        assert best.score > 0.8
+        assert scores["kv_cache.markov"] > scores["kv_cache.fifo"]

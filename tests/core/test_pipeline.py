@@ -1,0 +1,194 @@
+"""SpeculationPipeline tests: staging, IV bookkeeping, invalidation."""
+
+import pytest
+
+from repro.cc import CcMode, build_machine
+from repro.core import PipeLLMConfig, SpeculationPipeline, SwapPredictor, TransferClassifier
+from repro.hw import MB
+
+KV = 4 * MB
+
+
+@pytest.fixture
+def machine():
+    return build_machine(CcMode.ENABLED, enc_threads=2)
+
+
+@pytest.fixture
+def config():
+    return PipeLLMConfig(depth=4, kv_depth=4)
+
+
+@pytest.fixture
+def pipeline(machine, config):
+    return SpeculationPipeline(machine, config)
+
+
+@pytest.fixture
+def predictor():
+    return SwapPredictor(TransferClassifier())
+
+
+def swap_out(machine, predictor, index):
+    """Allocate a host region and tell the predictor it swapped out."""
+    region = machine.host_memory.allocate(KV, f"kv.{index}", f"kv-{index}".encode())
+    predictor.observe_swap_out(region.addr, region.size)
+    return region
+
+
+class TestStaging:
+    def test_refill_stages_predictions(self, machine, pipeline, predictor):
+        regions = [swap_out(machine, predictor, i) for i in range(3)]
+        staged = pipeline.refill(predictor, leeway=0)
+        assert staged == 3
+        # LIFO order: the newest swap-out is staged first (lowest IV).
+        entries = pipeline.valid_entries
+        assert entries[0].chunk.addr == regions[2].addr
+        assert entries[0].iv < entries[1].iv < entries[2].iv
+
+    def test_refill_is_idempotent(self, machine, pipeline, predictor):
+        swap_out(machine, predictor, 0)
+        assert pipeline.refill(predictor, leeway=0) == 1
+        assert pipeline.refill(predictor, leeway=0) == 0
+        assert pipeline.staged_total == 1
+
+    def test_depth_budget_respected(self, machine, predictor):
+        config = PipeLLMConfig(depth=2, kv_depth=2)
+        pipeline = SpeculationPipeline(build_machine(CcMode.ENABLED), config)
+        # Use the pipeline's own machine for regions.
+        for i in range(5):
+            region = pipeline.machine.host_memory.allocate(KV, f"kv.{i}", b"x")
+            predictor.observe_swap_out(region.addr, region.size)
+        pipeline.refill(predictor, leeway=0)
+        assert len(pipeline.valid_entries) == 2
+
+    def test_staged_bytes_budget(self, machine, predictor):
+        config = PipeLLMConfig(depth=8, kv_depth=8, max_staged_bytes=2 * KV)
+        pipeline = SpeculationPipeline(machine, config)
+        for i in range(4):
+            swap_out(machine, predictor, i)
+        pipeline.refill(predictor, leeway=0)
+        assert pipeline.staged_bytes <= 2 * KV
+
+    def test_blocked_addresses_skipped(self, machine, pipeline, predictor):
+        region = swap_out(machine, predictor, 0)
+        pipeline.blocked_addrs[region.addr] = "pending-decrypt"
+        assert pipeline.refill(predictor, leeway=0) == 0
+
+    def test_stage_protects_pages(self, machine, pipeline, predictor):
+        region = swap_out(machine, predictor, 0)
+        pipeline.refill(predictor, leeway=0)
+        assert machine.host_memory.is_protected(region.addr, region.size, for_write=True)
+
+    def test_leeway_offsets_iv(self, machine, pipeline, predictor):
+        swap_out(machine, predictor, 0)
+        pipeline.refill(predictor, leeway=5)
+        entry = pipeline.valid_entries[0]
+        assert entry.iv == machine.cpu_endpoint.tx_iv.current + 5
+
+    def test_freed_region_not_staged(self, machine, pipeline, predictor):
+        region = swap_out(machine, predictor, 0)
+        machine.host_memory.free(region)
+        assert pipeline.refill(predictor, leeway=0) == 0
+
+    def test_requires_cc_machine(self, config):
+        with pytest.raises(ValueError):
+            SpeculationPipeline(build_machine(CcMode.DISABLED), config)
+
+
+class TestLookup:
+    def test_find_by_addr_size(self, machine, pipeline, predictor):
+        region = swap_out(machine, predictor, 0)
+        pipeline.refill(predictor, leeway=0)
+        assert pipeline.find(region.addr, region.size) is not None
+        assert pipeline.find(region.addr, region.size + 1) is None
+        assert pipeline.find(region.addr + 1, region.size) is None
+
+    def test_has_valid_below(self, machine, pipeline, predictor):
+        for i in range(3):
+            swap_out(machine, predictor, i)
+        pipeline.refill(predictor, leeway=0)
+        entries = pipeline.valid_entries
+        assert not pipeline.has_valid_below(entries[0].iv)
+        assert pipeline.has_valid_below(entries[2].iv)
+
+
+class TestInvalidation:
+    def test_write_fault_invalidates(self, machine, pipeline, predictor):
+        region = swap_out(machine, predictor, 0)
+        pipeline.refill(predictor, leeway=0)
+        killed = pipeline.invalidate_overlapping(region.addr, region.size)
+        assert killed == 1
+        assert pipeline.invalidated_by_fault == 1
+        assert pipeline.find(region.addr, region.size) is None
+        # Protection was dropped with the entry.
+        assert not machine.host_memory.is_protected(region.addr, region.size, for_write=True)
+
+    def test_iv_skip_invalidates_exact_iv(self, machine, pipeline, predictor):
+        for i in range(2):
+            swap_out(machine, predictor, i)
+        pipeline.refill(predictor, leeway=0)
+        first, second = pipeline.valid_entries
+        killed = pipeline.on_iv_consumed(first.iv)
+        assert killed is first
+        assert not first.valid
+        assert second.valid
+        assert pipeline.invalidated_by_iv_skip == 1
+
+    def test_iv_skip_miss_returns_none(self, pipeline):
+        assert pipeline.on_iv_consumed(999999) is None
+
+    def test_drop_stale(self, machine, pipeline, predictor):
+        for i in range(3):
+            swap_out(machine, predictor, i)
+        pipeline.refill(predictor, leeway=0)
+        entries = pipeline.valid_entries
+        cutoff = entries[1].iv + 1
+        assert pipeline.drop_stale(cutoff) == 2
+        assert [e for e in pipeline.valid_entries] == [entries[2]]
+
+    def test_relinquish_spares_reserved(self, machine, pipeline, predictor):
+        for i in range(2):
+            swap_out(machine, predictor, i)
+        pipeline.refill(predictor, leeway=0)
+        keep, drop = pipeline.valid_entries
+        keep.reserved = True
+        killed = pipeline.relinquish()
+        assert killed == 1
+        assert keep.valid
+        assert not drop.valid
+
+    def test_eviction_on_window_change(self, machine, predictor):
+        config = PipeLLMConfig(depth=2, kv_depth=2)
+        pipeline = SpeculationPipeline(machine, config)
+        old = [swap_out(machine, predictor, i) for i in range(2)]
+        pipeline.refill(predictor, leeway=0)
+        assert len(pipeline.valid_entries) == 2
+        # Two newer swap-outs push the old ones out of the window.
+        for i in (10, 11):
+            swap_out(machine, predictor, i)
+        pipeline.refill(predictor, leeway=0)
+        assert pipeline.evicted == 2
+        live_addrs = {e.chunk.addr for e in pipeline.valid_entries}
+        assert all(r.addr not in live_addrs for r in old)
+
+    def test_pop_removes_and_unprotects(self, machine, pipeline, predictor):
+        region = swap_out(machine, predictor, 0)
+        pipeline.refill(predictor, leeway=0)
+        entry = pipeline.valid_entries[0]
+        pipeline.pop(entry)
+        assert pipeline.find(region.addr, region.size) is None
+        assert not machine.host_memory.is_protected(region.addr, region.size, for_write=True)
+
+
+class TestFunctionalCiphertext:
+    def test_staged_message_authenticates_at_predicted_iv(self, machine, pipeline, predictor):
+        region = swap_out(machine, predictor, 0)
+        pipeline.refill(predictor, leeway=2)
+        entry = pipeline.valid_entries[0]
+        cpu, gpu = machine.cpu_endpoint, machine.gpu.endpoint
+        # Advance both sides to the predicted IV with NOPs.
+        while cpu.tx_iv.current < entry.iv:
+            gpu.decrypt_next(cpu.encrypt_next(b"\x00"))
+        cpu.commit_tx_iv()
+        assert gpu.decrypt_next(entry.message) == b"kv-0"

@@ -1,0 +1,97 @@
+"""SwapPredictor tests: class routing, hypothesis racing, sabotage."""
+
+import pytest
+
+from repro.core import SwapClass, SwapPredictor, TransferClassifier
+
+WEIGHT = 2 << 30
+KV = 300 << 20
+
+
+@pytest.fixture
+def predictor():
+    classifier = TransferClassifier()
+    classifier.register_weight_size(WEIGHT)
+    return SwapPredictor(classifier)
+
+
+class TestRouting:
+    def test_weight_swaps_feed_repetitive(self, predictor):
+        addrs = [i << 32 for i in range(3)]
+        for addr in addrs + addrs[:1]:
+            predictor.observe_swap_in(addr, WEIGHT)
+        preds = predictor.predict(2, SwapClass.WEIGHTS)
+        assert [p.addr for p in preds] == [addrs[1], addrs[2]]
+        assert all(p.swap_class is SwapClass.WEIGHTS for p in preds)
+
+    def test_kv_swaps_feed_pool_detectors(self, predictor):
+        for i in range(3):
+            predictor.observe_swap_out(i << 32, KV)
+        preds = predictor.predict(2, SwapClass.KV_CACHE)
+        # Default best hypothesis is LIFO (vLLM's policy).
+        assert [p.addr for p in preds] == [2 << 32, 1 << 32]
+
+    def test_small_transfers_ignored(self, predictor):
+        predictor.observe_swap_in(1 << 32, 1024)
+        predictor.observe_swap_out(1 << 32, 1024)
+        assert predictor.swap_ins_observed == 0
+        assert predictor.swap_outs_observed == 0
+
+
+class TestHypothesisRacing:
+    def test_fifo_wins_on_fifo_traffic(self, predictor):
+        for i in range(8):
+            predictor.observe_swap_out(i << 32, KV)
+        for i in range(6):
+            predictor.observe_swap_in(i << 32, KV)
+        best = predictor.best_detector(SwapClass.KV_CACHE)
+        assert best.name == "fifo"
+        preds = predictor.predict(1, SwapClass.KV_CACHE)
+        assert preds[0].addr == 6 << 32
+
+    def test_lifo_wins_on_lifo_traffic(self, predictor):
+        for i in range(8):
+            predictor.observe_swap_out(i << 32, KV)
+        for i in (7, 6, 5):
+            predictor.observe_swap_in(i << 32, KV)
+        assert predictor.best_detector(SwapClass.KV_CACHE).name == "lifo"
+
+    def test_scores_exposed(self, predictor):
+        scores = predictor.scores()
+        assert "kv_cache.lifo" in scores
+        assert "weights.repetitive" in scores
+
+
+class TestPredictAll:
+    def test_weights_take_priority(self, predictor):
+        addrs = [i << 32 for i in range(2)]
+        for addr in addrs + addrs + addrs[:1]:
+            predictor.observe_swap_in(addr, WEIGHT)
+        for i in range(10, 14):
+            predictor.observe_swap_out(i << 32, KV)
+        preds = predictor.predict_all(4)
+        assert preds[0].swap_class is SwapClass.WEIGHTS
+
+    def test_kv_count_cap(self, predictor):
+        for i in range(8):
+            predictor.observe_swap_out(i << 32, KV)
+        preds = predictor.predict_all(8, kv_count=3)
+        assert len(preds) == 3
+
+
+class TestSabotage:
+    def test_reverse_keeps_set_wrecks_order(self):
+        classifier = TransferClassifier()
+        straight = SwapPredictor(classifier)
+        reverse = SwapPredictor(classifier, sabotage="reverse")
+        for p in (straight, reverse):
+            for i in range(4):
+                p.observe_swap_out(i << 32, KV)
+        a = [t.addr for t in straight.predict(4, SwapClass.KV_CACHE)]
+        b = [t.addr for t in reverse.predict(4, SwapClass.KV_CACHE)]
+        assert a == list(reversed(b))
+        assert set(a) == set(b)
+
+    def test_unknown_sabotage_rejected(self):
+        with pytest.raises(ValueError):
+            SwapPredictor(TransferClassifier(), sabotage="scramble")

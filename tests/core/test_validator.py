@@ -1,0 +1,91 @@
+"""Validator decision-logic tests (§5.2)."""
+
+import pytest
+
+from repro.cc import CcMode, build_machine
+from repro.core import (
+    PipeLLMConfig,
+    SpeculationPipeline,
+    SwapPredictor,
+    TransferClassifier,
+    ValidationOutcome,
+    Validator,
+)
+from repro.hw import MB
+
+KV = 4 * MB
+
+
+@pytest.fixture
+def setup():
+    machine = build_machine(CcMode.ENABLED, enc_threads=2)
+    pipeline = SpeculationPipeline(machine, PipeLLMConfig(depth=4, kv_depth=4))
+    predictor = SwapPredictor(TransferClassifier())
+    validator = Validator(pipeline)
+    return machine, pipeline, predictor, validator
+
+
+def stage_one(machine, pipeline, predictor, index=0, leeway=0):
+    region = machine.host_memory.allocate(KV, f"kv.{index}", b"x")
+    predictor.observe_swap_out(region.addr, region.size)
+    pipeline.refill(predictor, leeway=leeway)
+    return region
+
+
+class TestOutcomes:
+    def test_hit_now(self, setup):
+        machine, pipeline, predictor, validator = setup
+        region = stage_one(machine, pipeline, predictor)
+        current = machine.cpu_endpoint.tx_iv.current
+        validation = validator.validate(region.addr, region.size, current)
+        assert validation.outcome is ValidationOutcome.HIT_NOW
+        assert validation.usable
+        assert validator.hits == 1
+
+    def test_hit_future(self, setup):
+        machine, pipeline, predictor, validator = setup
+        region = stage_one(machine, pipeline, predictor, leeway=3)
+        current = machine.cpu_endpoint.tx_iv.current
+        validation = validator.validate(region.addr, region.size, current)
+        assert validation.outcome is ValidationOutcome.HIT_FUTURE
+        assert validation.usable
+        assert validator.future_hits == 1
+
+    def test_stale(self, setup):
+        machine, pipeline, predictor, validator = setup
+        region = stage_one(machine, pipeline, predictor)
+        entry = pipeline.valid_entries[0]
+        validation = validator.validate(region.addr, region.size, entry.iv + 5)
+        assert validation.outcome is ValidationOutcome.STALE
+        assert not validation.usable
+        assert validator.stale == 1
+
+    def test_miss(self, setup):
+        machine, pipeline, predictor, validator = setup
+        validation = validator.validate(12345, KV, 1)
+        assert validation.outcome is ValidationOutcome.MISS
+        assert validation.entry is None
+        assert validator.misses == 1
+
+    def test_invalidated_entry_is_miss(self, setup):
+        machine, pipeline, predictor, validator = setup
+        region = stage_one(machine, pipeline, predictor)
+        pipeline.invalidate_overlapping(region.addr, region.size)
+        current = machine.cpu_endpoint.tx_iv.current
+        validation = validator.validate(region.addr, region.size, current)
+        assert validation.outcome is ValidationOutcome.MISS
+
+
+class TestAccounting:
+    def test_success_rate(self, setup):
+        machine, pipeline, predictor, validator = setup
+        region = stage_one(machine, pipeline, predictor)
+        current = machine.cpu_endpoint.tx_iv.current
+        validator.validate(region.addr, region.size, current)  # hit
+        validator.validate(999, KV, current)                    # miss
+        assert validator.requests == 2
+        assert validator.success_rate == pytest.approx(0.5)
+
+    def test_empty_success_rate(self, setup):
+        _, _, _, validator = setup
+        assert validator.success_rate == 0.0

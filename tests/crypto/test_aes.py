@@ -1,0 +1,82 @@
+"""AES known-answer tests (FIPS-197) and fast-path equivalence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import AES
+
+# FIPS-197 Appendix C known-answer vectors.
+_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+_VECTORS = [
+    (
+        bytes.fromhex("000102030405060708090a0b0c0d0e0f"),
+        bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a"),
+    ),
+    (
+        bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617"),
+        bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191"),
+    ),
+    (
+        bytes.fromhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"),
+        bytes.fromhex("8ea2b7ca516745bfeafc49904b496089"),
+    ),
+]
+
+
+class TestKnownAnswers:
+    @pytest.mark.parametrize("key,expected", _VECTORS, ids=["aes128", "aes192", "aes256"])
+    def test_encrypt(self, key, expected):
+        assert AES(key).encrypt_block(_PLAINTEXT) == expected
+
+    @pytest.mark.parametrize("key,expected", _VECTORS, ids=["aes128", "aes192", "aes256"])
+    def test_decrypt(self, key, expected):
+        assert AES(key).decrypt_block(expected) == _PLAINTEXT
+
+    def test_sp800_38a_vector(self):
+        # AES-128 ECB vector from SP 800-38A F.1.1.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ct = bytes.fromhex("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert AES(key).encrypt_block(pt) == ct
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES(b"short")
+
+    def test_bad_block_length_encrypt(self):
+        with pytest.raises(ValueError):
+            AES(bytes(16)).encrypt_block(b"tiny")
+
+    def test_bad_block_length_decrypt(self):
+        with pytest.raises(ValueError):
+            AES(bytes(16)).decrypt_block(b"tiny")
+
+
+class TestProperties:
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        block=st.binary(min_size=16, max_size=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fast_path_matches_reference(self, key, block):
+        cipher = AES(key)
+        assert cipher.encrypt_block(block) == cipher.encrypt_block_reference(block)
+
+    @given(
+        key=st.binary(min_size=32, max_size=32),
+        block=st.binary(min_size=16, max_size=16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_aes256(self, key, block):
+        cipher = AES(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(key=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_permutation_no_fixed_block_collision(self, key):
+        cipher = AES(key)
+        a = cipher.encrypt_block(bytes(16))
+        b = cipher.encrypt_block(bytes(15) + b"\x01")
+        assert a != b

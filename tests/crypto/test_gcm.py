@@ -1,0 +1,141 @@
+"""AES-GCM tests: NIST vectors, tamper detection, properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import AesGcm, AuthenticationError, iv_from_counter
+
+# NIST GCM test case 3/4 material (AES-128).
+_KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+_IV = bytes.fromhex("cafebabefacedbaddecaf888")
+_PT = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"
+)
+_AAD = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+_CT = bytes.fromhex(
+    "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+    "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+)
+_TAG = bytes.fromhex("5bc94fbc3221a5db94fae95ae7121a47")
+
+
+class TestKnownAnswers:
+    def test_encrypt_with_aad(self):
+        ciphertext, tag = AesGcm(_KEY).encrypt(_IV, _PT, aad=_AAD)
+        assert ciphertext == _CT
+        assert tag == _TAG
+
+    def test_decrypt_with_aad(self):
+        assert AesGcm(_KEY).decrypt(_IV, _CT, _TAG, aad=_AAD) == _PT
+
+    def test_empty_plaintext_vector(self):
+        # NIST test case 1: empty plaintext, empty AAD, zero key/IV.
+        gcm = AesGcm(bytes(16))
+        ciphertext, tag = gcm.encrypt(bytes(12), b"")
+        assert ciphertext == b""
+        assert tag == bytes.fromhex("58e2fccefa7e3061367f1d57a4e7455a")
+
+    def test_single_block_vector(self):
+        # NIST test case 2.
+        gcm = AesGcm(bytes(16))
+        ciphertext, tag = gcm.encrypt(bytes(12), bytes(16))
+        assert ciphertext == bytes.fromhex("0388dace60b6a392f328c2b971b2fe78")
+        assert tag == bytes.fromhex("ab6e47d42cec13bdf53a67b21257bddf")
+
+
+class TestAuthentication:
+    def test_tampered_ciphertext_rejected(self):
+        gcm = AesGcm(_KEY)
+        bad = bytes([_CT[0] ^ 1]) + _CT[1:]
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(_IV, bad, _TAG, aad=_AAD)
+
+    def test_tampered_tag_rejected(self):
+        gcm = AesGcm(_KEY)
+        bad = bytes([_TAG[0] ^ 1]) + _TAG[1:]
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(_IV, _CT, bad, aad=_AAD)
+
+    def test_wrong_iv_rejected(self):
+        gcm = AesGcm(_KEY)
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(iv_from_counter(99), _CT, _TAG, aad=_AAD)
+
+    def test_wrong_aad_rejected(self):
+        gcm = AesGcm(_KEY)
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(_IV, _CT, _TAG, aad=b"different")
+
+    def test_try_decrypt_returns_none(self):
+        gcm = AesGcm(_KEY)
+        assert gcm.try_decrypt(iv_from_counter(99), _CT, _TAG, aad=_AAD) is None
+        assert gcm.try_decrypt(_IV, _CT, _TAG, aad=_AAD) == _PT
+
+    def test_truncated_tag_rejected(self):
+        gcm = AesGcm(_KEY)
+        with pytest.raises(AuthenticationError):
+            gcm.decrypt(_IV, _CT, _TAG[:8], aad=_AAD)
+
+
+class TestIvEncoding:
+    def test_counter_roundtrip(self):
+        nonce = iv_from_counter(12345)
+        assert len(nonce) == 12
+        assert int.from_bytes(nonce, "big") == 12345
+
+    def test_counter_bounds(self):
+        with pytest.raises(ValueError):
+            iv_from_counter(-1)
+        with pytest.raises(ValueError):
+            iv_from_counter(1 << 96)
+        assert iv_from_counter((1 << 96) - 1)
+
+    def test_distinct_counters_distinct_nonces(self):
+        assert iv_from_counter(1) != iv_from_counter(2)
+
+    def test_non_96bit_nonce_rejected(self):
+        gcm = AesGcm(bytes(16))
+        with pytest.raises(ValueError):
+            gcm.encrypt(bytes(8), b"x")
+
+
+class TestProperties:
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        counter=st.integers(min_value=0, max_value=2**40),
+        plaintext=st.binary(min_size=0, max_size=200),
+        aad=st.binary(min_size=0, max_size=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, key, counter, plaintext, aad):
+        gcm = AesGcm(key)
+        nonce = iv_from_counter(counter)
+        ciphertext, tag = gcm.encrypt(nonce, plaintext, aad)
+        assert gcm.decrypt(nonce, ciphertext, tag, aad) == plaintext
+
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        counter=st.integers(min_value=0, max_value=2**40),
+        plaintext=st.binary(min_size=1, max_size=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_ciphertext_differs_from_plaintext_length_preserved(self, key, counter, plaintext):
+        gcm = AesGcm(key)
+        ciphertext, _ = gcm.encrypt(iv_from_counter(counter), plaintext)
+        assert len(ciphertext) == len(plaintext)
+
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        plaintext=st.binary(min_size=1, max_size=64),
+        c1=st.integers(min_value=0, max_value=2**30),
+        c2=st.integers(min_value=0, max_value=2**30),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_distinct_ivs_distinct_ciphertexts(self, key, plaintext, c1, c2):
+        if c1 == c2:
+            c2 += 1
+        gcm = AesGcm(key)
+        ct1, _ = gcm.encrypt(iv_from_counter(c1), plaintext)
+        ct2, _ = gcm.encrypt(iv_from_counter(c2), plaintext)
+        assert ct1 != ct2

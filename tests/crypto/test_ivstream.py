@@ -1,0 +1,74 @@
+"""IvStream monotonicity and bookkeeping tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import IvExhaustedError, IvStream
+
+
+class TestBasics:
+    def test_initial_state(self):
+        stream = IvStream(start=5, name="tx")
+        assert stream.current == 5
+        assert stream.consumed == 0
+
+    def test_consume_advances(self):
+        stream = IvStream(start=1)
+        assert stream.consume() == 1
+        assert stream.consume() == 2
+        assert stream.current == 3
+        assert stream.consumed == 2
+
+    def test_peek_does_not_advance(self):
+        stream = IvStream(start=10)
+        assert stream.peek() == 10
+        assert stream.peek(ahead=3) == 13
+        assert stream.current == 10
+
+    def test_peek_negative_rejected(self):
+        with pytest.raises(ValueError):
+            IvStream().peek(ahead=-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            IvStream(start=-1)
+
+
+class TestAdvance:
+    def test_advance_forward(self):
+        stream = IvStream(start=1)
+        skipped = stream.advance_to(10)
+        assert skipped == 9
+        assert stream.current == 10
+
+    def test_advance_backwards_forbidden(self):
+        stream = IvStream(start=5)
+        with pytest.raises(ValueError):
+            stream.advance_to(4)
+
+    def test_advance_to_same_is_noop(self):
+        stream = IvStream(start=5)
+        assert stream.advance_to(5) == 0
+
+
+class TestExhaustion:
+    def test_exhaustion_raises(self):
+        stream = IvStream(start=IvStream.MAX)
+        with pytest.raises(IvExhaustedError):
+            stream.consume()
+
+    def test_nonce_encoding(self):
+        stream = IvStream(start=7)
+        assert int.from_bytes(stream.nonce(7), "big") == 7
+
+
+class TestProperties:
+    @given(start=st.integers(min_value=0, max_value=2**40),
+           n=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_consumed_values_unique_and_monotone(self, start, n):
+        stream = IvStream(start=start)
+        values = [stream.consume() for _ in range(n)]
+        assert values == sorted(set(values))
+        assert values[0] == start
+        assert values[-1] == start + n - 1

@@ -1,0 +1,75 @@
+"""Calibration tests: the hardware model must reproduce Fig. 2."""
+
+import pytest
+
+from repro.hw import HardwareParams, KB, MB, default_params
+
+
+@pytest.fixture
+def params():
+    return default_params()
+
+
+class TestFig2Latency:
+    """Latency column of the paper's microbenchmark table."""
+
+    def test_ncc_latency_flat(self, params):
+        # Paper: 1.43 / 1.17 / 1.19 / 1.43 µs — async return, flat.
+        for size in (32, 128 * KB, 1 * MB, 32 * MB):
+            assert params.ncc_api_latency(size) == pytest.approx(1.4e-6)
+
+    @pytest.mark.parametrize(
+        "size,expected_us,tol",
+        [(32, 14.93, 0.05), (128 * KB, 22.81, 0.05), (1 * MB, 162.5, 0.1), (32 * MB, 5252.1, 0.1)],
+    )
+    def test_cc_latency_matches_paper(self, params, size, expected_us, tol):
+        measured = params.cc_api_latency(size) * 1e6
+        assert measured == pytest.approx(expected_us, rel=tol)
+
+
+class TestFig2Throughput:
+    """Throughput column (back-to-back occupancy)."""
+
+    @pytest.mark.parametrize(
+        "size,expected_gbps,tol",
+        [(128 * KB, 27.16, 0.15), (1 * MB, 48.2, 0.1), (32 * MB, 55.31, 0.05)],
+    )
+    def test_ncc_throughput(self, params, size, expected_gbps, tol):
+        measured = size / params.ncc_occupancy(size) / 1e9
+        assert measured == pytest.approx(expected_gbps, rel=tol)
+
+    @pytest.mark.parametrize(
+        "size,expected_gbps,tol",
+        [(128 * KB, 3.32, 0.15), (1 * MB, 5.82, 0.05), (32 * MB, 5.83, 0.1)],
+    )
+    def test_cc_throughput(self, params, size, expected_gbps, tol):
+        measured = size / params.cc_occupancy(size) / 1e9
+        assert measured == pytest.approx(expected_gbps, rel=tol)
+
+
+class TestDerivedCosts:
+    def test_enc_time_scales_with_threads(self, params):
+        one = params.enc_time(1 * MB, threads=1)
+        four = params.enc_time(1 * MB, threads=4)
+        assert four < one
+        # Per-thread bandwidth is additive (minus the fixed overhead).
+        ratio = (one - params.cc_stream_overhead) / (four - params.cc_stream_overhead)
+        assert ratio == pytest.approx(4.0)
+
+    def test_enc_time_thread_validation(self, params):
+        with pytest.raises(ValueError):
+            params.enc_time(1024, threads=0)
+
+    def test_cc_dma_slower_than_native(self, params):
+        assert params.cc_dma_bandwidth < params.pcie_bandwidth
+
+    def test_cc_dma_faster_than_single_thread_aes(self, params):
+        assert params.cc_dma_bandwidth > params.enc_bandwidth_per_thread
+
+    def test_with_overrides(self, params):
+        tweaked = params.with_overrides(cc_dma_bandwidth=1.0)
+        assert tweaked.cc_dma_bandwidth == 1.0
+        assert params.cc_dma_bandwidth != 1.0  # original untouched
+
+    def test_gpu_memory_is_80gb(self, params):
+        assert params.gpu_memory_bytes == 80 * (1 << 30)

@@ -1,0 +1,47 @@
+"""The example scripts are part of the public surface: run the fast
+ones end to end (each asserts its own correctness internally)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "CC overhead" in out
+        assert "PipeLLM overhead" in out
+
+    def test_attack_replay(self, capsys):
+        load_example("attack_replay").main()
+        out = capsys.readouterr().out
+        assert out.count("rejected") == 3
+        assert "SUCCEEDED" not in out
+
+    def test_custom_pattern(self, capsys):
+        load_example("custom_pattern").main()
+        out = capsys.readouterr().out
+        assert "stride" in out
+
+    def test_finetune_example(self, capsys):
+        load_example("finetune_peft_lora").main()
+        out = capsys.readouterr().out
+        assert "PipeLLM overhead" in out
+
+    def test_offload_example(self, capsys):
+        load_example("offload_flexgen_opt66b").main()
+        out = capsys.readouterr().out
+        assert "prediction success rate" in out

@@ -1,0 +1,167 @@
+"""Security-property tests (§8.1).
+
+PipeLLM must preserve NVIDIA CC's confidentiality and integrity. The
+functional crypto layer lets these properties be demonstrated rather
+than asserted: replay, reorder, tamper and ciphertext-reuse attacks
+all fail GCM authentication, and unvalidated speculative ciphertext
+never reaches the (attacker-visible) shared memory path.
+"""
+
+import pytest
+
+from repro.cc import CcMode, build_machine
+from repro.core import PipeLLMConfig, PipeLLMRuntime
+from repro.crypto import AuthenticationError, SecureSession
+from repro.hw import MB, MemoryChunk
+
+KV = 4 * MB
+
+
+class TestChannelAttacks:
+    """Attacks on the raw secure channel."""
+
+    def setup_method(self):
+        self.cpu, self.gpu = SecureSession(key=bytes(range(16))).endpoints()
+
+    def test_replay_attack_fails(self):
+        message = self.cpu.encrypt_next(b"model-weights")
+        assert self.gpu.decrypt_next(message) == b"model-weights"
+        with pytest.raises(AuthenticationError):
+            self.gpu.decrypt_next(message)  # Attacker re-injects.
+
+    def test_reorder_attack_fails(self):
+        first = self.cpu.encrypt_next(b"first")
+        second = self.cpu.encrypt_next(b"second")
+        with pytest.raises(AuthenticationError):
+            self.gpu.decrypt_next(second)
+
+    def test_splice_attack_fails(self):
+        """Mixing ciphertext and tag from different transfers fails."""
+        a = self.cpu.encrypt_next(b"payload-a")
+        b = self.cpu.encrypt_next(b"payload-b")
+        from repro.crypto import EncryptedMessage
+
+        frankenstein = EncryptedMessage(a.ciphertext, b.tag, a.sender_iv, a.nbytes_logical)
+        with pytest.raises(AuthenticationError):
+            self.gpu.decrypt_next(frankenstein)
+
+    def test_bitflip_attack_fails(self):
+        message = self.cpu.encrypt_next(b"sensitive")
+        from repro.crypto import EncryptedMessage
+
+        flipped = EncryptedMessage(
+            bytes([message.ciphertext[0] ^ 0x80]) + message.ciphertext[1:],
+            message.tag,
+            message.sender_iv,
+            message.nbytes_logical,
+        )
+        with pytest.raises(AuthenticationError):
+            self.gpu.decrypt_next(flipped)
+
+    def test_ciphertext_is_not_plaintext(self):
+        message = self.cpu.encrypt_next(b"the-secret-weights!!")
+        assert b"secret" not in message.ciphertext
+
+
+class TestSpeculationSecrecy:
+    """§6: speculative state must not weaken the threat model."""
+
+    def make_runtime(self):
+        machine = build_machine(CcMode.ENABLED, enc_threads=2, dec_threads=2)
+        runtime = PipeLLMRuntime(machine, PipeLLMConfig(kv_depth=4))
+        return machine, runtime
+
+    def _stage_some(self, machine, runtime):
+        regions = []
+        for i in range(2):
+            region = machine.host_memory.allocate(KV, f"kv.{i}")
+            machine.gpu._contents[f"kv.{i}"] = f"secret-{i}".encode()
+            regions.append(region)
+
+        def out():
+            for region in regions:
+                handle = runtime.memcpy_d2h(MemoryChunk(region.addr, KV, b"", region.tag))
+                yield handle.api_done
+            yield runtime.synchronize()
+            yield machine.sim.timeout(0.1)
+
+        machine.sim.process(out())
+        machine.run()
+        return regions
+
+    def test_staged_ciphertext_never_plaintext(self):
+        machine, runtime = self.make_runtime()
+        self._stage_some(machine, runtime)
+        for entry in runtime.pipeline.entries:
+            assert entry.chunk.payload not in (b"",)
+            assert entry.message.ciphertext != entry.chunk.payload
+
+    def test_mispredicted_ciphertext_never_shipped(self):
+        """An entry invalidated before commit must never cross the
+        channel: the GPU sees only authenticated, in-order traffic."""
+        machine, runtime = self.make_runtime()
+        regions = self._stage_some(machine, runtime)
+        # Invalidate everything, then demand the data anyway.
+        runtime.pipeline.relinquish()
+
+        def app():
+            for region in reversed(regions):
+                handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(region.addr))
+                yield handle.api_done
+            yield runtime.synchronize()
+
+        machine.sim.process(app())
+        machine.run()
+        assert machine.gpu.auth_failures == 0
+        assert machine.gpu.read_plaintext("kv.0") == b"secret-0"
+
+    def test_nops_carry_dummy_data(self):
+        """§8.1: padding NOPs contain dummy data — nothing secret."""
+        machine, runtime = self.make_runtime()
+        self._stage_some(machine, runtime)
+        high = max(runtime.pipeline.valid_entries, key=lambda e: e.iv)
+
+        def app():
+            handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(high.chunk.addr))
+            yield handle.api_done
+            yield runtime.synchronize()
+
+        machine.sim.process(app())
+        machine.run()
+        assert runtime.nops_sent >= 1
+        assert machine.gpu.auth_failures == 0
+
+
+class TestIvReuseNeverHappens:
+    """The cardinal GCM rule: no IV is ever consumed twice on a wire."""
+
+    def test_wire_iv_uniqueness_under_stress(self):
+        machine = build_machine(CcMode.ENABLED, enc_threads=2, dec_threads=2)
+        runtime = PipeLLMRuntime(machine)
+        regions = [
+            machine.host_memory.allocate(KV, f"kv.{i}") for i in range(4)
+        ]
+        for i in range(4):
+            machine.gpu._contents[f"kv.{i}"] = b"x"
+        small = machine.host_memory.allocate(1024, "tok", b"t")
+
+        def app():
+            for region in regions:
+                handle = runtime.memcpy_d2h(MemoryChunk(region.addr, KV, b"", region.tag))
+                yield handle.api_done
+            yield runtime.synchronize()
+            yield machine.sim.timeout(0.05)
+            # Interleave small transfers with LIFO swap-ins.
+            for region in reversed(regions):
+                yield runtime.memcpy_h2d(machine.host_memory.chunk_at(small.addr)).complete
+                handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(region.addr))
+                yield handle.api_done
+            yield runtime.synchronize()
+
+        machine.sim.process(app())
+        machine.run()
+        # If any IV had been reused or skipped inconsistently, the GPU
+        # copy engine would have failed authentication.
+        assert machine.gpu.auth_failures == 0
+        # Both sides agree on how many IVs the wire consumed.
+        assert machine.cpu_endpoint.tx_iv.consumed == machine.gpu.endpoint.rx_iv.consumed

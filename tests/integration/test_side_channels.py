@@ -1,0 +1,111 @@
+"""§8.1 side-channel demonstrations.
+
+The paper concedes that PipeLLM *introduces* side channels relative to
+plain NVIDIA CC: an attacker observing the (encrypted) bus can count
+NOP transfers, learning (1) that the LLM system is swapping and
+(2) how often predictions fail. These tests demonstrate the channel
+exists in the model — and that it leaks only what the paper says.
+"""
+
+import pytest
+
+from repro.cc import CcMode, CudaContext, build_machine
+from repro.core import PipeLLMConfig, PipeLLMRuntime
+from repro.hw import MB, MemoryChunk
+
+KV = 4 * MB
+
+
+def lifo_workload(machine, runtime, count=3):
+    regions = []
+    for i in range(count):
+        region = machine.host_memory.allocate(KV, f"kv.{i}")
+        machine.gpu._contents[f"kv.{i}"] = b"secret"
+        regions.append(region)
+
+    def app():
+        for region in regions:
+            handle = runtime.memcpy_d2h(MemoryChunk(region.addr, KV, b"", region.tag))
+            yield handle.api_done
+        yield runtime.synchronize()
+        yield machine.sim.timeout(0.1)
+        # Request only the deepest entry: forces NOP padding.
+        high = max(runtime.pipeline.valid_entries, key=lambda e: e.iv)
+        handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(high.chunk.addr))
+        yield handle.api_done
+        yield runtime.synchronize()
+
+    machine.sim.process(app())
+    machine.run()
+
+
+class TestNopSideChannel:
+    def test_attacker_counts_nops(self):
+        machine = build_machine(CcMode.ENABLED, enc_threads=2, dec_threads=2)
+        runtime = PipeLLMRuntime(machine)
+        lifo_workload(machine, runtime)
+        observed = machine.pcie.observed_nops()
+        # The snooper's count agrees with the runtime's own NOP count:
+        # this is exactly the leak §8.1 describes.
+        assert observed == runtime.nops_sent
+        assert observed >= 1
+
+    def test_baseline_cc_emits_no_nops(self):
+        machine = build_machine(CcMode.ENABLED)
+        ctx = CudaContext(machine)
+        region = machine.host_memory.allocate(KV, "w", b"x")
+
+        def app():
+            yield ctx.memcpy_h2d(region.chunk()).complete
+
+        machine.sim.process(app())
+        machine.run()
+        assert machine.pcie.observed_nops() == 0
+
+    def test_payload_sizes_visible_contents_not(self):
+        machine = build_machine(CcMode.ENABLED, enc_threads=2, dec_threads=2)
+        runtime = PipeLLMRuntime(machine)
+        lifo_workload(machine, runtime)
+        # The snooper sees transfer sizes (KV-sized and NOP-sized)...
+        sizes = {record.nbytes for record in machine.pcie.bus_log}
+        assert KV in sizes
+        # ...but the log carries no payloads — and the channel payloads
+        # themselves were ciphertext (verified by the auth invariant).
+        assert machine.gpu.auth_failures == 0
+        assert all(not hasattr(record, "payload") for record in machine.pcie.bus_log)
+
+    def test_swap_activity_distinguishable(self):
+        """Fewer mispredictions ⇒ fewer NOPs: the frequency profile of
+        prediction failures is observable, as the paper warns."""
+        # Perfect-order resume: no NOPs beyond the leeway.
+        machine_good = build_machine(CcMode.ENABLED, enc_threads=2, dec_threads=2)
+        runtime_good = PipeLLMRuntime(machine_good)
+        regions = []
+        for i in range(3):
+            region = machine_good.host_memory.allocate(KV, f"kv.{i}")
+            machine_good.gpu._contents[f"kv.{i}"] = b"s"
+            regions.append(region)
+
+        def app_good():
+            for region in regions:
+                handle = runtime_good.memcpy_d2h(
+                    MemoryChunk(region.addr, KV, b"", region.tag)
+                )
+                yield handle.api_done
+            yield runtime_good.synchronize()
+            yield machine_good.sim.timeout(0.1)
+            for region in reversed(regions):  # correct LIFO order
+                handle = runtime_good.memcpy_h2d(
+                    machine_good.host_memory.chunk_at(region.addr)
+                )
+                yield handle.api_done
+            yield runtime_good.synchronize()
+
+        machine_good.sim.process(app_good())
+        machine_good.run()
+
+        machine_bad = build_machine(CcMode.ENABLED, enc_threads=2, dec_threads=2)
+        runtime_bad = PipeLLMRuntime(machine_bad)
+        lifo_workload(machine_bad, runtime_bad)  # skips entries: NOPs
+
+        assert machine_bad.pcie.observed_nops() > machine_good.pcie.observed_nops()

@@ -1,0 +1,58 @@
+"""FlexGenConfig budgeting unit tests."""
+
+import pytest
+
+from repro.hw import GB
+from repro.models import OPT_13B, OPT_30B, OPT_66B, OPT_175B_4BIT
+from repro.serving import FlexGenConfig
+from repro.workloads import FLEXGEN_32_128, SyntheticShape
+
+
+class TestKvAccounting:
+    def test_kv_bytes(self):
+        config = FlexGenConfig(OPT_66B, FLEXGEN_32_128, batch_size=10, n_requests=10)
+        tokens = 32 + 128
+        assert config.kv_bytes() == 10 * tokens * OPT_66B.kv_bytes_per_token()
+
+    def test_reserve_override(self):
+        config = FlexGenConfig(
+            OPT_66B, FLEXGEN_32_128, batch_size=10, n_requests=10,
+            reserve_bytes=30 * GB,
+        )
+        fewer = config.resident_layers(80 * GB)
+        default = FlexGenConfig(
+            OPT_66B, FLEXGEN_32_128, batch_size=10, n_requests=10
+        ).resident_layers(80 * GB)
+        assert fewer < default or default == 0
+
+
+class TestResidency:
+    def test_opt66b_partial(self):
+        config = FlexGenConfig(OPT_66B, SyntheticShape(32, 8), batch_size=48, n_requests=48)
+        resident = config.resident_layers(80 * GB)
+        assert 0 < resident < OPT_66B.n_layers
+
+    def test_opt13b_fits_entirely(self):
+        config = FlexGenConfig(OPT_13B, SyntheticShape(32, 8), batch_size=8, n_requests=8)
+        assert config.resident_layers(80 * GB) == OPT_13B.n_layers
+
+    def test_quantization_helps(self):
+        shape = SyntheticShape(32, 8)
+        full = FlexGenConfig(OPT_66B, shape, batch_size=48, n_requests=48)
+        quant = FlexGenConfig(OPT_175B_4BIT, shape, batch_size=48, n_requests=48)
+        # 175B-4bit streams a smaller byte volume per pass than 66B-fp16
+        # relative to its layer count thanks to 4x smaller weights.
+        frac_66b = 1 - full.resident_layers(80 * GB) / OPT_66B.n_layers
+        frac_175b = 1 - quant.resident_layers(80 * GB) / OPT_175B_4BIT.n_layers
+        assert frac_175b < frac_66b
+
+    def test_bigger_batch_less_resident(self):
+        shape = SyntheticShape(32, 8)
+        small = FlexGenConfig(OPT_66B, shape, batch_size=16, n_requests=16)
+        big = FlexGenConfig(OPT_66B, shape, batch_size=64, n_requests=64)
+        assert big.resident_layers(80 * GB) <= small.resident_layers(80 * GB)
+
+    def test_never_negative(self):
+        config = FlexGenConfig(OPT_175B_4BIT, SyntheticShape(1024, 512),
+                               batch_size=512, n_requests=512)
+        assert config.resident_layers(80 * GB) == 0

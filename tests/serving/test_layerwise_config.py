@@ -1,0 +1,51 @@
+"""LayerwiseConfig budgeting unit tests."""
+
+import pytest
+
+from repro.models import OPT_13B, OPT_30B
+from repro.serving import LayerwiseConfig
+from repro.workloads import SyntheticShape
+
+
+class TestKvSizing:
+    def test_kv_layer_bytes(self):
+        config = LayerwiseConfig(OPT_30B, SyntheticShape(100, 10), batch_size=64)
+        expected = 64 * 110 * OPT_30B.kv_bytes_per_token_layer()
+        assert config.kv_layer_bytes(110) == expected
+
+    def test_kv_grows_with_batch(self):
+        small = LayerwiseConfig(OPT_30B, SyntheticShape(100, 10), batch_size=16)
+        big = LayerwiseConfig(OPT_30B, SyntheticShape(100, 10), batch_size=256)
+        assert big.kv_layer_bytes(100) == 16 * small.kv_layer_bytes(100)
+
+
+class TestResidency:
+    GPU = 80 << 30
+
+    def test_small_batch_all_resident(self):
+        config = LayerwiseConfig(OPT_30B, SyntheticShape(16, 2), batch_size=8)
+        assert config.compute_resident(self.GPU) == OPT_30B.n_layers
+
+    def test_large_batch_partial(self):
+        config = LayerwiseConfig(OPT_30B, SyntheticShape(192, 6), batch_size=256)
+        resident = config.compute_resident(self.GPU)
+        assert 0 < resident < OPT_30B.n_layers
+
+    def test_huge_batch_nothing_resident(self):
+        config = LayerwiseConfig(OPT_30B, SyntheticShape(1024, 64), batch_size=2048)
+        assert config.compute_resident(self.GPU) == 0
+
+    def test_smaller_model_keeps_more(self):
+        shape = SyntheticShape(192, 6)
+        big = LayerwiseConfig(OPT_30B, shape, batch_size=256).compute_resident(self.GPU)
+        # OPT-13B has smaller weights AND smaller per-layer KV, so the
+        # resident fraction is at least as large.
+        small_cfg = LayerwiseConfig(OPT_13B, shape, batch_size=256)
+        small = small_cfg.compute_resident(self.GPU)
+        assert small / OPT_13B.n_layers >= big / OPT_30B.n_layers
+
+    def test_explicit_override(self):
+        config = LayerwiseConfig(
+            OPT_30B, SyntheticShape(192, 6), batch_size=256, resident_kv_layers=5
+        )
+        assert config.resident_kv_layers == 5

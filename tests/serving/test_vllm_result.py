@@ -1,0 +1,33 @@
+"""VllmResult metric tests."""
+
+import pytest
+
+from repro.serving import VllmResult
+
+
+def make(latencies):
+    return VllmResult(
+        normalized_latencies=list(latencies),
+        elapsed=10.0,
+        swap_out_count=0,
+        swap_in_count=0,
+        finished=len(latencies),
+    )
+
+
+class TestMetrics:
+    def test_mean(self):
+        assert make([0.1, 0.3]).mean_normalized_latency == pytest.approx(0.2)
+
+    def test_empty_mean(self):
+        assert make([]).mean_normalized_latency == 0.0
+
+    def test_percentiles(self):
+        result = make([0.1, 0.2, 0.3, 0.4, 0.5])
+        assert result.latency_percentile(0) == pytest.approx(0.1)
+        assert result.latency_percentile(50) == pytest.approx(0.3)
+        assert result.latency_percentile(100) == pytest.approx(0.5)
+
+    def test_p90_above_mean_for_skewed(self):
+        result = make([0.1] * 8 + [1.0, 1.0])
+        assert result.latency_percentile(90) > result.mean_normalized_latency

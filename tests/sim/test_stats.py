@@ -1,0 +1,110 @@
+"""Unit tests for the measurement helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Counter, LatencyStat, MetricSet, TimeSeries, mean, percentile
+
+
+class TestMean:
+    def test_empty(self):
+        assert mean([]) == 0.0
+
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_median_interpolation(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 5.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    def test_bounded_by_min_max(self, values, q):
+        p = percentile(values, q)
+        assert min(values) <= p <= max(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=30))
+    def test_monotone_in_q(self, values):
+        assert percentile(values, 25) <= percentile(values, 75)
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_repr(self):
+        assert "x=0" in repr(Counter("x"))
+
+
+class TestLatencyStat:
+    def test_summary(self):
+        stat = LatencyStat("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stat.record(v)
+        summary = stat.summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["max"] == 4.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStat("lat").record(-1.0)
+
+    def test_empty_summary(self):
+        summary = LatencyStat("lat").summary()
+        assert summary["count"] == 0
+        assert summary["max"] == 0.0
+
+
+class TestTimeSeries:
+    def test_time_weighted_mean(self):
+        ts = TimeSeries("depth")
+        ts.record(0.0, 10.0)
+        ts.record(1.0, 20.0)   # 10 for [0,1)
+        ts.record(3.0, 0.0)    # 20 for [1,3)
+        # mean over [0,3): (10*1 + 20*2) / 3
+        assert ts.time_weighted_mean() == pytest.approx(50.0 / 3.0)
+
+    def test_horizon_extension(self):
+        ts = TimeSeries("depth")
+        ts.record(0.0, 10.0)
+        assert ts.time_weighted_mean(horizon=2.0) == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert TimeSeries("d").time_weighted_mean() == 0.0
+
+
+class TestMetricSet:
+    def test_idempotent_lookup(self):
+        metrics = MetricSet()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.latency("l") is metrics.latency("l")
+        assert metrics.timeseries("t") is metrics.timeseries("t")
+
+    def test_snapshot(self):
+        metrics = MetricSet()
+        metrics.counter("hits").add(3)
+        metrics.latency("lat").record(2.0)
+        snap = metrics.snapshot()
+        assert snap["hits"] == 3.0
+        assert snap["lat.mean"] == pytest.approx(2.0)
+        assert snap["lat.count"] == 1.0

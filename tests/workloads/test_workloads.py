@@ -1,0 +1,118 @@
+"""Workload-generator tests: determinism and distribution shape."""
+
+import pytest
+
+from repro.sim import SeededRng, mean
+from repro.workloads import (
+    ALPACA,
+    FLEXGEN_256_32,
+    FLEXGEN_32_128,
+    FineTuneBatch,
+    Request,
+    SHAREGPT,
+    generate_trace,
+    poisson_trace,
+    synthetic_requests,
+    ultrachat_batches,
+)
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, 0.0, prompt_len=0, output_len=1)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, prompt_len=1, output_len=1, parallel_n=0)
+
+    def test_total_output(self):
+        request = Request(0, 0.0, prompt_len=10, output_len=20, parallel_n=3)
+        assert request.total_output_tokens == 60
+
+
+class TestSynthetic:
+    def test_fixed_shapes(self):
+        assert FLEXGEN_32_128.prompt_len == 32
+        assert FLEXGEN_32_128.output_len == 128
+        assert FLEXGEN_256_32.label == "in256/out32"
+
+    def test_requests_identical(self):
+        requests = synthetic_requests(FLEXGEN_32_128, 10)
+        assert len(requests) == 10
+        assert all(r.prompt_len == 32 and r.output_len == 128 for r in requests)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_requests(FLEXGEN_32_128, 0)
+
+
+class TestTraces:
+    def test_sharegpt_is_long_alpaca_is_short(self):
+        rng = SeededRng(1)
+        share = generate_trace(SHAREGPT, 300, rng)
+        alpaca = generate_trace(ALPACA, 300, rng)
+        assert mean([r.prompt_len for r in share]) > 3 * mean([r.prompt_len for r in alpaca])
+        assert mean([r.output_len for r in share]) > 3 * mean([r.output_len for r in alpaca])
+
+    def test_mean_lengths_near_spec(self):
+        requests = generate_trace(SHAREGPT, 2000, SeededRng(2))
+        assert mean([r.prompt_len for r in requests]) == pytest.approx(161, rel=0.35)
+        assert mean([r.output_len for r in requests]) == pytest.approx(338, rel=0.35)
+
+    def test_lengths_clamped(self):
+        requests = generate_trace(SHAREGPT, 500, SeededRng(3))
+        assert all(4 <= r.prompt_len <= SHAREGPT.max_prompt for r in requests)
+        assert all(4 <= r.output_len <= SHAREGPT.max_output for r in requests)
+
+    def test_deterministic(self):
+        a = generate_trace(ALPACA, 50, SeededRng(7))
+        b = generate_trace(ALPACA, 50, SeededRng(7))
+        assert [(r.prompt_len, r.output_len) for r in a] == [
+            (r.prompt_len, r.output_len) for r in b
+        ]
+
+
+class TestPoisson:
+    def test_arrivals_sorted_and_bounded(self):
+        requests = poisson_trace(ALPACA, rate=5.0, duration=20.0, rng=SeededRng(1))
+        times = [r.arrival_time for r in requests]
+        assert times == sorted(times)
+        assert all(0 < t < 20.0 for t in times)
+
+    def test_rate_matches(self):
+        requests = poisson_trace(ALPACA, rate=10.0, duration=100.0, rng=SeededRng(2))
+        assert len(requests) == pytest.approx(1000, rel=0.15)
+
+    def test_parallel_n_propagates(self):
+        requests = poisson_trace(ALPACA, rate=5.0, duration=10.0, rng=SeededRng(1), parallel_n=6)
+        assert all(r.parallel_n == 6 for r in requests)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace(ALPACA, rate=0.0, duration=1.0, rng=SeededRng(1))
+
+    def test_ids_sequential(self):
+        requests = poisson_trace(ALPACA, rate=5.0, duration=10.0, rng=SeededRng(1))
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+
+
+class TestFineTune:
+    def test_batch_shape(self):
+        batches = ultrachat_batches(4, 8, SeededRng(5))
+        assert len(batches) == 4
+        assert all(len(b.seq_lens) == 8 for b in batches)
+
+    def test_token_totals_positive(self):
+        batches = ultrachat_batches(3, 8, SeededRng(5))
+        assert all(b.total_tokens > 8 * 64 for b in batches)
+
+    def test_mean_length_near_ultrachat(self):
+        batches = ultrachat_batches(40, 16, SeededRng(6))
+        lens = [l for b in batches for l in b.seq_lens]
+        assert mean(lens) == pytest.approx(1100, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ultrachat_batches(0, 8, SeededRng(1))
+
+    def test_empty_batch_total(self):
+        assert FineTuneBatch(0).total_tokens == 0
