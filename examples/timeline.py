@@ -8,6 +8,13 @@ enabled and renders the actual simulated timelines as ASCII Gantt
 charts — lane `enc[0]` is the encryption thread, `pcie.h2d.cc` the
 DMA path, `gpu` the compute engine.
 
+For whole experiments the unified telemetry subsystem supersedes this
+hand-rolled capture: ``python -m repro trace <experiment>`` (or
+``examples/trace_export.py``) records every machine through
+:mod:`repro.telemetry` and exports Chrome-trace / JSON / CSV / ASCII
+views of the same lanes, plus speculation state and per-request
+lifecycle records.
+
 Run:  python examples/timeline.py
 """
 

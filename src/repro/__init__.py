@@ -11,6 +11,10 @@ Public API tour:
 * :mod:`repro.serving` — FlexGen-, vLLM- and PEFT-like engines that
   run unmodified on any runtime.
 * :mod:`repro.bench` — one function per paper figure.
+* :mod:`repro.telemetry` — unified observability: per-machine
+  :class:`TelemetryHub` (typed events + lifecycle records),
+  :func:`recording` to capture whole experiments, and Chrome-trace /
+  JSON / CSV / ASCII exporters (``python -m repro trace``).
 * :mod:`repro.crypto`, :mod:`repro.hw`, :mod:`repro.sim` — the
   substrates (real AES-GCM, calibrated hardware models, deterministic
   discrete-event simulator).
@@ -20,6 +24,7 @@ from .cc import CcMode, CudaContext, DeviceRuntime, Machine, build_machine
 from .core import PipeLLMConfig, PipeLLMRuntime
 from .hw import GB, HardwareParams, KB, MB, MemoryChunk, default_params
 from .models import MODELS, ModelSpec, OPT_13B, OPT_30B, OPT_66B, OPT_175B_4BIT
+from .telemetry import TelemetryHub, chrome_trace, recording
 
 __version__ = "1.0.0"
 
@@ -41,7 +46,10 @@ __all__ = [
     "OPT_66B",
     "PipeLLMConfig",
     "PipeLLMRuntime",
+    "TelemetryHub",
     "__version__",
     "build_machine",
+    "chrome_trace",
     "default_params",
+    "recording",
 ]

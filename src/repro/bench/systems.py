@@ -51,6 +51,9 @@ class SystemSpec:
             enc_threads=self.enc_threads,
             dec_threads=self.dec_threads,
         )
+        # Telemetry traces group machines by system name (e.g. one
+        # Perfetto process per "PipeLLM" / "CC" instance).
+        machine.telemetry.label = self.name
         if self.uses_pipellm:
             runtime: DeviceRuntime = PipeLLMRuntime(machine, self.pipellm_config)
         else:

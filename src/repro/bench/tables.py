@@ -64,6 +64,16 @@ class ExperimentResult:
             if all(row.get(k) == v for k, v in criteria.items())
         ]
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (``repro run --json``)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     def render(self) -> str:
         """Plain-text table, one line per row."""
         header = [self.experiment_id + " — " + self.title]

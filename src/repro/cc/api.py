@@ -26,6 +26,8 @@ from typing import Callable, List, Optional
 
 from ..hw.memory import MemoryChunk
 from ..sim import Event, Simulator
+from ..telemetry import TransferEvent
+from ..telemetry.hub import RequestRecord
 from .machine import CcMode, Machine
 
 __all__ = ["CudaContext", "DeviceRuntime", "TransferHandle", "TransferRecord"]
@@ -113,6 +115,31 @@ class DeviceRuntime(abc.ABC):
     def _track(self, complete: Event) -> None:
         self._outstanding.append(complete)
 
+    def _telemetry_request(self, handle: TransferHandle) -> Optional[RequestRecord]:
+        """Open a per-request lifecycle record on the telemetry hub.
+
+        Returns None (after one attribute check) when telemetry is
+        disabled, so the hot path stays effectively free. When enabled,
+        a :class:`TransferEvent` goes on the bus and the record's
+        api/complete timestamps are stitched in via event callbacks.
+        """
+        hub = self.machine.telemetry
+        if not hub.enabled:
+            return None
+        chunk = handle.chunk
+        record = hub.begin_request(
+            handle.direction, chunk.addr, chunk.size, self.sim.now, tag=chunk.tag
+        )
+        hub.emit(TransferEvent(self.sim.now, handle.direction, chunk.addr,
+                               chunk.size, chunk.tag, record.request_id))
+        handle.api_done.add_callback(
+            lambda _e: hub.mark_api_done(record, self.sim.now)
+        )
+        handle.complete.add_callback(
+            lambda _e: hub.mark_complete(record, self.sim.now)
+        )
+        return record
+
 
 class CudaContext(DeviceRuntime):
     """Baseline runtimes: native ("w/o CC") and NVIDIA CC ("CC")."""
@@ -127,6 +154,9 @@ class CudaContext(DeviceRuntime):
         self._record(H2D, chunk)
         handle = TransferHandle(chunk, H2D, self.sim.event(), self.sim.event())
         self._track(handle.complete)
+        record = self._telemetry_request(handle)
+        if record is not None:
+            record.strategy = "inline" if self.machine.cc_enabled else "native"
         if self.machine.cc_enabled:
             self.sim.process(self._h2d_cc(handle))
         else:
@@ -163,6 +193,9 @@ class CudaContext(DeviceRuntime):
         self._record(D2H, chunk)
         handle = TransferHandle(chunk, D2H, self.sim.event(), self.sim.event())
         self._track(handle.complete)
+        record = self._telemetry_request(handle)
+        if record is not None:
+            record.strategy = "inline" if self.machine.cc_enabled else "native"
         if self.machine.cc_enabled:
             self.sim.process(self._d2h_cc(handle))
         else:

@@ -23,6 +23,7 @@ from ..crypto import (
 from ..hw import CryptoEngine, DmaStaging, GpuEnclave, HardwareParams, HostMemory, default_params
 from ..sim import MetricSet, Simulator
 from ..hw.pcie import PcieLink
+from ..telemetry import TelemetryHub, active_session
 
 __all__ = ["CcMode", "Machine", "build_attested_machine", "build_machine"]
 
@@ -53,6 +54,16 @@ class Machine:
         self.cc_mode = cc_mode
         self.sim = Simulator()
         self.metrics = MetricSet()
+        # The unified telemetry hub: shares the sim's span tracer (so
+        # resource/hardware instrumentation flows in) and the machine's
+        # metric registry. Disabled unless a recording session is
+        # active — the disabled fast path is a single attribute check.
+        self.telemetry = TelemetryHub(
+            sim=self.sim, metrics=self.metrics, tracer=self.sim.tracer
+        )
+        trace_session = active_session()
+        if trace_session is not None:
+            trace_session.register(self.telemetry)
         self.host_memory = HostMemory(
             capacity=self.params.host_memory_bytes, page_size=self.params.page_size
         )

@@ -3,15 +3,22 @@
 Commands:
 
 * ``list`` — every available experiment with its paper artifact.
-* ``run <experiment> [--scale quick|full]`` — run one experiment and
-  print its table (the same rows EXPERIMENTS.md records).
+* ``run <experiment> [--scale quick|full] [--json]`` — run one
+  experiment and print its table (the same rows EXPERIMENTS.md
+  records), or the same rows as JSON.
 * ``all [--scale ...]`` — run every experiment in order.
 * ``systems`` — the compared system configurations.
+* ``claims [--json]`` — verify the paper's headline claims.
+* ``trace <experiment> [--format chrome|json|csv|ascii] [--out F]`` —
+  re-run one experiment with telemetry recording on and export the
+  unified trace (Chrome ``trace_event`` JSON loads directly into
+  https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -76,21 +83,66 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("systems", help="describe the compared systems")
     claims = sub.add_parser("claims", help="verify the paper's headline claims")
     claims.add_argument("--scale", choices=("quick", "full"), default="quick")
+    claims.add_argument("--json", action="store_true", help="emit outcomes as JSON")
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--scale", choices=("quick", "full"), default="quick")
+    run.add_argument("--json", action="store_true", help="emit the result rows as JSON")
 
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--scale", choices=("quick", "full"), default="quick")
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment with telemetry on and export the trace"
+    )
+    trace.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    trace.add_argument("--scale", choices=("quick", "full"), default="quick")
+    trace.add_argument(
+        "--format", choices=("chrome", "json", "csv", "ascii"), default="chrome",
+        help="chrome: Perfetto-loadable trace_event JSON; json/csv: flat "
+             "metric dumps; ascii: Gantt charts",
+    )
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write to FILE instead of stdout")
+    trace.add_argument("--max-events", type=int, default=None, metavar="N",
+                       help="retain at most N typed events per machine")
     return parser
 
 
-def _run_one(name: str, scale: str, out) -> None:
+def _run_one(name: str, scale: str, out, as_json: bool = False) -> None:
     start = time.time()
     result = EXPERIMENTS[name](scale)
-    print(result.render(), file=out)
-    print(f"[{name}: {time.time() - start:.1f}s]", file=out)
+    if as_json:
+        print(json.dumps(result.to_dict(), indent=2), file=out)
+    else:
+        print(result.render(), file=out)
+        print(f"[{name}: {time.time() - start:.1f}s]", file=out)
+
+
+def _run_trace(args, out) -> int:
+    from .telemetry import ascii_gantt, chrome_trace, flat_metrics, metrics_csv, recording
+
+    with recording(max_events_per_hub=args.max_events) as session:
+        EXPERIMENTS[args.experiment](args.scale)
+    if args.format == "chrome":
+        text = json.dumps(chrome_trace(session.hubs), separators=(",", ":"))
+    elif args.format == "json":
+        text = json.dumps(flat_metrics(session.hubs), indent=2)
+    elif args.format == "csv":
+        text = metrics_csv(session.hubs)
+    else:
+        text = ascii_gantt(session.hubs)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote {args.format} trace for {args.experiment} "
+              f"({len(session.hubs)} machines) to {args.out}", file=out)
+    else:
+        print(text, file=out)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -108,16 +160,30 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from .bench.claims import render_outcomes
 
         outcomes = verify_claims(args.scale)
-        print(render_outcomes(outcomes), file=out)
+        if args.json:
+            print(json.dumps([
+                {
+                    "claim_id": o.claim.claim_id,
+                    "statement": o.claim.statement,
+                    "paper_value": o.claim.paper_value,
+                    "measured": o.measured,
+                    "passed": o.passed,
+                }
+                for o in outcomes
+            ], indent=2), file=out)
+        else:
+            print(render_outcomes(outcomes), file=out)
         return 0 if all(o.passed for o in outcomes) else 1
     if args.command == "run":
-        _run_one(args.experiment, args.scale, out)
+        _run_one(args.experiment, args.scale, out, as_json=args.json)
         return 0
     if args.command == "all":
         for name in EXPERIMENTS:
             _run_one(name, args.scale, out)
             print(file=out)
         return 0
+    if args.command == "trace":
+        return _run_trace(args, out)
     return 2
 
 

@@ -25,6 +25,7 @@ from ..cc.machine import Machine
 from ..crypto import EncryptedMessage
 from ..hw.memory import MemoryChunk
 from ..sim import Event
+from ..telemetry import SpeculationEvent
 from .config import PipeLLMConfig
 from .predictor import PredictionTarget, SwapPredictor
 
@@ -44,6 +45,8 @@ class StagedEntry:
     invalid_reason: str = ""
     #: Held by a suspended (deferred) request; exempt from eviction.
     reserved: bool = False
+    #: Simulated time the entry was staged (telemetry span start).
+    staged_at: float = 0.0
 
     @property
     def key(self) -> Tuple[int, int]:
@@ -68,14 +71,38 @@ class SpeculationPipeline:
         #: Addresses the runtime told us not to stage right now
         #: (e.g. swap-out destinations still pending decryption).
         self.blocked_addrs: Dict[int, str] = {}
-        # Statistics.
-        self.staged_total = 0
-        self.invalidated_by_fault = 0
-        self.invalidated_by_iv_skip = 0
-        self.relinquish_count = 0
-        self.evicted = 0
+        # Statistics live on the machine's telemetry hub (always-on
+        # counters); the historical attribute names below are kept as
+        # thin read-only properties.
+        self.telemetry = machine.telemetry
+        metrics = machine.telemetry.metrics
+        self._staged_total = metrics.counter("pipeline.staged_total")
+        self._invalidated_by_fault = metrics.counter("pipeline.invalidated_by_fault")
+        self._invalidated_by_iv_skip = metrics.counter("pipeline.invalidated_by_iv_skip")
+        self._relinquish_count = metrics.counter("pipeline.relinquishes")
+        self._evicted = metrics.counter("pipeline.evicted")
 
     # -- introspection --------------------------------------------------
+
+    @property
+    def staged_total(self) -> int:
+        return self._staged_total.value
+
+    @property
+    def invalidated_by_fault(self) -> int:
+        return self._invalidated_by_fault.value
+
+    @property
+    def invalidated_by_iv_skip(self) -> int:
+        return self._invalidated_by_iv_skip.value
+
+    @property
+    def relinquish_count(self) -> int:
+        return self._relinquish_count.value
+
+    @property
+    def evicted(self) -> int:
+        return self._evicted.value
 
     @property
     def entries(self) -> List[StagedEntry]:
@@ -123,7 +150,7 @@ class SpeculationPipeline:
         for entry in self._queue:
             if entry.valid and not entry.reserved and entry.key not in wanted_keys:
                 self._kill(entry, "left-prediction-window")
-                self.evicted += 1
+                self._evicted.add()
         self._gc()
 
         live = {e.key for e in self._queue if e.valid}
@@ -168,10 +195,15 @@ class SpeculationPipeline:
         ready = self.machine.engine.submit_encrypt_parallel(
             target.size, ways=self.config.enc_ways, front=front
         )
-        entry = StagedEntry(chunk, iv, message, ready)
+        entry = StagedEntry(chunk, iv, message, ready, staged_at=self.machine.sim.now)
         memory.protect(target.addr, target.size, owner=entry.owner, deny_write=True)
         self._queue.append(entry)
-        self.staged_total += 1
+        self._staged_total.add()
+        hub = self.telemetry
+        if hub.enabled:
+            hub.emit(SpeculationEvent(
+                self.machine.sim.now, "stage", target.addr, target.size, iv
+            ))
         return True
 
     # -- invalidation -------------------------------------------------------
@@ -184,7 +216,7 @@ class SpeculationPipeline:
                 self._kill(entry, reason)
                 killed += 1
                 if reason == "write-fault":
-                    self.invalidated_by_fault += 1
+                    self._invalidated_by_fault.add()
         return killed
 
     def on_iv_consumed(self, iv: int) -> Optional[StagedEntry]:
@@ -193,7 +225,7 @@ class SpeculationPipeline:
         for entry in self._queue:
             if entry.valid and entry.iv == iv:
                 self._kill(entry, "iv-skipped")
-                self.invalidated_by_iv_skip += 1
+                self._invalidated_by_iv_skip.add()
                 return entry
         return None
 
@@ -213,7 +245,10 @@ class SpeculationPipeline:
         already matched to an in-flight request and will commit (or
         fall back) at the batch boundary.
         """
-        self.relinquish_count += 1
+        self._relinquish_count.add()
+        hub = self.telemetry
+        if hub.enabled:
+            hub.emit(SpeculationEvent(self.machine.sim.now, "relinquish"))
         killed = 0
         for entry in self._queue:
             if entry.valid and not entry.reserved:
@@ -227,11 +262,27 @@ class SpeculationPipeline:
         self.machine.host_memory.unprotect(entry.owner)
         self._queue.remove(entry)
         self._gc()
+        hub = self.telemetry
+        if hub.enabled:
+            now = self.machine.sim.now
+            # Staged lifetime as a span on the "speculation" lane.
+            hub.tracer.record("speculation", "commit", entry.staged_at, now)
+            hub.emit(SpeculationEvent(
+                now, "commit", entry.chunk.addr, entry.chunk.size, entry.iv
+            ))
 
     def _kill(self, entry: StagedEntry, reason: str) -> None:
         entry.valid = False
         entry.invalid_reason = reason
         self.machine.host_memory.unprotect(entry.owner)
+        hub = self.telemetry
+        if hub.enabled:
+            now = self.machine.sim.now
+            hub.tracer.record("speculation", reason, entry.staged_at, now)
+            hub.emit(SpeculationEvent(
+                now, "invalidate", entry.chunk.addr, entry.chunk.size,
+                entry.iv, reason=reason,
+            ))
 
     def _gc(self) -> None:
         """Drop dead entries once they can no longer be referenced."""

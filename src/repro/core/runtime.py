@@ -28,6 +28,8 @@ from ..cc.api import D2H, H2D, DeviceRuntime, TransferHandle
 from ..cc.machine import Machine
 from ..hw.memory import MemoryChunk, PageFault
 from ..sim import Event
+from ..telemetry import FaultEvent, IvEvent, SpeculationEvent
+from ..telemetry.hub import RequestRecord
 from .classify import TransferClassifier
 from .config import PipeLLMConfig
 from .pipeline import SpeculationPipeline, StagedEntry
@@ -77,8 +79,9 @@ class PipeLLMRuntime(DeviceRuntime):
         self._wire_tail: Event = self.sim.event()
         self._wire_tail.succeed()
         # Requests suspended until the batch boundary (Fig. 6).
-        self._deferred: List[Tuple[TransferHandle, StagedEntry]] = []
+        self._deferred: List[Tuple[TransferHandle, StagedEntry, Optional[RequestRecord]]] = []
         self._pending_decrypts: Dict[int, _PendingDecrypt] = {}
+        self.telemetry = machine.telemetry
 
         # Adaptive IV leeway (§5.1). Two signals: an EMA of small
         # transfers per swap (the floor), and a multiplicative-increase
@@ -90,13 +93,40 @@ class PipeLLMRuntime(DeviceRuntime):
         self._small_since_swap = 0
         self._consecutive_misses = 0
 
-        # Statistics surfaced by stats().
-        self.nops_sent = 0
-        self.ondemand_encryptions = 0
-        self.small_transfers = 0
-        self.sync_decrypts = 0
-        self.async_decrypts = 0
-        self.deferred_total = 0
+        # Statistics surfaced by stats() live on the telemetry hub as
+        # always-on counters; the historical attribute names remain
+        # available as read-only properties below.
+        metrics = machine.telemetry.metrics
+        self._nops_sent = metrics.counter("runtime.nops_sent")
+        self._ondemand_encryptions = metrics.counter("runtime.ondemand_encryptions")
+        self._small_transfers = metrics.counter("runtime.small_transfers")
+        self._sync_decrypts = metrics.counter("runtime.sync_decrypts")
+        self._async_decrypts = metrics.counter("runtime.async_decrypts")
+        self._deferred_total = metrics.counter("runtime.deferred")
+
+    @property
+    def nops_sent(self) -> int:
+        return self._nops_sent.value
+
+    @property
+    def ondemand_encryptions(self) -> int:
+        return self._ondemand_encryptions.value
+
+    @property
+    def small_transfers(self) -> int:
+        return self._small_transfers.value
+
+    @property
+    def sync_decrypts(self) -> int:
+        return self._sync_decrypts.value
+
+    @property
+    def async_decrypts(self) -> int:
+        return self._async_decrypts.value
+
+    @property
+    def deferred_total(self) -> int:
+        return self._deferred_total.value
 
     # -- model hints (§4.2: "We assume LLM models are known") ----------------
 
@@ -114,11 +144,15 @@ class PipeLLMRuntime(DeviceRuntime):
         self._record(H2D, chunk)
         handle = TransferHandle(chunk, H2D, self.sim.event(), self.sim.event())
         self._track(handle.complete)
+        record = self._telemetry_request(handle)
 
         if not self.classifier.is_swap(chunk.size):
-            self.small_transfers += 1
+            self._small_transfers.add()
             self._small_since_swap += 1
-            self._commit_ondemand(handle, chunk, parallel=False, blocking_api=True)
+            if record is not None:
+                record.kind = "control"
+            self._commit_ondemand(handle, chunk, parallel=False, blocking_api=True,
+                                  record=record)
             # Small transfers advance the IV past staged predictions;
             # proactively re-encrypt anything that went stale (off the
             # critical path — only the engine queue pays).
@@ -129,11 +163,24 @@ class PipeLLMRuntime(DeviceRuntime):
         self._note_swap_arrival()
         current = self.machine.cpu_endpoint.tx_iv.current
         validation = self.validator.validate(chunk.addr, chunk.size, current)
+        if record is not None:
+            record.kind = "swap"
+            swap_class = self.classifier.swap_class(chunk.size)
+            record.swap_class = swap_class.value if swap_class else ""
+            record.outcome = validation.outcome.value
+            if validation.entry is not None:
+                record.staged_iv = validation.entry.iv
+            self.telemetry.emit(SpeculationEvent(
+                self.sim.now, "validate", chunk.addr, chunk.size,
+                validation.entry.iv if validation.entry else -1,
+                reason=validation.outcome.value,
+                request_id=record.request_id,
+            ))
 
         if validation.outcome is ValidationOutcome.HIT_NOW:
             self._consecutive_misses = 0
             self._fast_api_return(handle)
-            self._commit_staged(handle, validation.entry)
+            self._commit_staged(handle, validation.entry, record=record)
         elif validation.outcome is ValidationOutcome.HIT_FUTURE:
             self._consecutive_misses = 0
             self._fast_api_return(handle)
@@ -141,22 +188,31 @@ class PipeLLMRuntime(DeviceRuntime):
                 # Re-ordering (§5.3): another request in this batch may
                 # arrive for the lower IV; suspend until the barrier.
                 validation.entry.reserved = True
-                self._deferred.append((handle, validation.entry))
-                self.deferred_total += 1
+                self._deferred.append((handle, validation.entry, record))
+                self._deferred_total.add()
+                if record is not None:
+                    record.deferred = True
+                    self.telemetry.emit(SpeculationEvent(
+                        self.sim.now, "defer", chunk.addr, chunk.size,
+                        validation.entry.iv, request_id=record.request_id,
+                    ))
                 # Applications that wait on the transfer itself (not a
                 # device barrier) must not deadlock: resolve shortly
                 # after if no synchronize() picked the request up.
                 self.sim.process(self._deferred_watchdog())
             else:
-                self._pad_nops_to(validation.entry.iv)
-                self._commit_staged(handle, validation.entry)
+                nops = self._pad_nops_to(validation.entry.iv)
+                if record is not None:
+                    record.nops_padded = nops
+                self._commit_staged(handle, validation.entry, record=record)
         else:
             if validation.outcome is ValidationOutcome.STALE:
                 # Order evidence against the current hypothesis.
                 self.pipeline.drop_stale(current)
                 self._bump_leeway()
                 self._count_miss()
-            self._commit_ondemand(handle, chunk, parallel=True, blocking_api=True)
+            self._commit_ondemand(handle, chunk, parallel=True, blocking_api=True,
+                                  record=record)
 
         self._refresh_pipeline()
         return handle
@@ -185,6 +241,7 @@ class PipeLLMRuntime(DeviceRuntime):
         self._record(D2H, chunk)
         handle = TransferHandle(chunk, D2H, self.sim.event(), self.sim.event())
         self._track(handle.complete)
+        record = self._telemetry_request(handle)
 
         # Functional layer runs eagerly in call order on both sides, so
         # the D2H IV streams stay aligned regardless of timing overlap.
@@ -200,6 +257,12 @@ class PipeLLMRuntime(DeviceRuntime):
         is_swap = self.classifier.is_swap(chunk.size)
         if is_swap:
             self.predictor.observe_swap_out(chunk.addr, chunk.size)
+        if record is not None:
+            record.kind = "swap-out" if is_swap else "control"
+            record.strategy = (
+                "async-decrypt" if is_swap and self.config.async_decrypt
+                else "sync-decrypt"
+            )
 
         if is_swap and self.config.async_decrypt:
             # A newer swap-out to the same destination supersedes any
@@ -248,15 +311,22 @@ class PipeLLMRuntime(DeviceRuntime):
         watchdog when the application never issues one.
         """
         deferred, self._deferred = self._deferred, []
-        for handle, entry in sorted(deferred, key=lambda pair: pair[1].iv):
+        for handle, entry, record in sorted(deferred, key=lambda item: item[1].iv):
             current = self.machine.cpu_endpoint.tx_iv.current
             if not entry.valid or entry.iv < current:
                 # Invalidated (write fault / IV skipped) while waiting.
                 self._count_miss()
-                self._commit_ondemand(handle, handle.chunk, parallel=True, blocking_api=False)
+                self._commit_ondemand(handle, handle.chunk, parallel=True,
+                                      blocking_api=False, record=record)
                 continue
-            self._pad_nops_to(entry.iv)
-            self._commit_staged(handle, entry)
+            nops = self._pad_nops_to(entry.iv)
+            if record is not None:
+                record.nops_padded += nops
+                self.telemetry.emit(SpeculationEvent(
+                    self.sim.now, "resume", entry.chunk.addr, entry.chunk.size,
+                    entry.iv, request_id=record.request_id,
+                ))
+            self._commit_staged(handle, entry, record=record)
         if deferred:
             self._refresh_pipeline()
 
@@ -279,6 +349,12 @@ class PipeLLMRuntime(DeviceRuntime):
     # -- fault handling (validator + async decryptor) ----------------------------------
 
     def _on_fault(self, fault: PageFault) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.emit(FaultEvent(
+                self.sim.now, fault.addr, fault.size,
+                "write" if fault.is_write else "read",
+                owners=",".join(fault.owners),
+            ))
         if fault.is_write:
             self.pipeline.invalidate_overlapping(fault.addr, fault.size)
         for addr, pending in list(self._pending_decrypts.items()):
@@ -304,9 +380,9 @@ class PipeLLMRuntime(DeviceRuntime):
         self.machine.host_memory.unprotect(pending.owner)
         self.pipeline.blocked_addrs.pop(pending.addr, None)
         if synchronous:
-            self.sync_decrypts += 1
+            self._sync_decrypts.add()
         else:
-            self.async_decrypts += 1
+            self._async_decrypts.add()
         pending.ready.succeed()
 
     # -- commit machinery -------------------------------------------------------------
@@ -316,7 +392,12 @@ class PipeLLMRuntime(DeviceRuntime):
         self._wire_tail = mine
         return prev, mine
 
-    def _commit_staged(self, handle: TransferHandle, entry: StagedEntry) -> None:
+    def _commit_staged(
+        self,
+        handle: TransferHandle,
+        entry: StagedEntry,
+        record: Optional[RequestRecord] = None,
+    ) -> None:
         endpoint = self.machine.cpu_endpoint
         if entry.iv != endpoint.tx_iv.current:
             raise AssertionError(
@@ -325,6 +406,14 @@ class PipeLLMRuntime(DeviceRuntime):
             )
         endpoint.commit_tx_iv()
         self.pipeline.pop(entry)
+        if record is not None:
+            record.strategy = "staged"
+            record.commit_iv = entry.iv
+            self.telemetry.emit(IvEvent(
+                self.sim.now, "cpu-tx", entry.iv, "staged", record.request_id
+            ))
+        elif self.telemetry.enabled:
+            self.telemetry.emit(IvEvent(self.sim.now, "cpu-tx", entry.iv, "staged"))
         # Successful staged commits decay the leeway slowly back down.
         self._leeway_value = max(self._leeway_ema, 0.999 * self._leeway_value)
         # GPU copy engine authenticates with its synchronized RX IV:
@@ -341,6 +430,7 @@ class PipeLLMRuntime(DeviceRuntime):
         chunk: MemoryChunk,
         parallel: bool,
         blocking_api: bool,
+        record: Optional[RequestRecord] = None,
     ) -> None:
         endpoint = self.machine.cpu_endpoint
         message = endpoint.encrypt_next(chunk.payload, nbytes_logical=chunk.size)
@@ -349,8 +439,15 @@ class PipeLLMRuntime(DeviceRuntime):
         # evidence the leeway is too small — no controller bump.
         self.pipeline.on_iv_consumed(message.sender_iv)
         self.machine.gpu.receive_ciphertext(chunk, message)
+        if record is not None:
+            record.strategy = "ondemand" if parallel else "inline"
+            record.commit_iv = message.sender_iv
+            self.telemetry.emit(IvEvent(
+                self.sim.now, "cpu-tx", message.sender_iv,
+                "ondemand" if parallel else "inline", record.request_id,
+            ))
         if parallel:
-            self.ondemand_encryptions += 1
+            self._ondemand_encryptions.add()
             enc_ready = self.machine.engine.submit_encrypt_parallel(
                 chunk.size, ways=self.config.enc_ways, urgent=True
             )
@@ -364,16 +461,24 @@ class PipeLLMRuntime(DeviceRuntime):
             )
         )
 
-    def _pad_nops_to(self, target_iv: int) -> None:
-        """Send NOPs until the channel's next IV equals ``target_iv``."""
+    def _pad_nops_to(self, target_iv: int) -> int:
+        """Send NOPs until the channel's next IV equals ``target_iv``.
+
+        Returns the number of NOPs padded (for lifecycle records).
+        """
         endpoint = self.machine.cpu_endpoint
+        count = 0
         while endpoint.tx_iv.current < target_iv:
             message = endpoint.encrypt_next(b"\x00", nbytes_logical=self.params.nop_bytes)
             self.pipeline.on_iv_consumed(message.sender_iv)
             self.machine.gpu.endpoint.decrypt_next(message)
             prev, mine = self._advance_chain()
             self.sim.process(self._timed_nop(prev, mine))
-            self.nops_sent += 1
+            self._nops_sent.add()
+            count += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(IvEvent(self.sim.now, "cpu-tx", message.sender_iv, "nop"))
+        return count
 
     # -- timed (simulated) halves --------------------------------------------------------
 

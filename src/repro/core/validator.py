@@ -47,28 +47,49 @@ class Validation:
 
 
 class Validator:
-    """Stateless decision logic over the pipeline + IV position."""
+    """Stateless decision logic over the pipeline + IV position.
+
+    Outcome counts are hub-backed metrics (``validator.*``); the
+    attribute names are kept as read-only properties.
+    """
 
     def __init__(self, pipeline: SpeculationPipeline) -> None:
         self.pipeline = pipeline
-        self.hits = 0
-        self.future_hits = 0
-        self.stale = 0
-        self.misses = 0
+        metrics = pipeline.machine.telemetry.metrics
+        self._hits = metrics.counter("validator.hits")
+        self._future_hits = metrics.counter("validator.future_hits")
+        self._stale = metrics.counter("validator.stale")
+        self._misses = metrics.counter("validator.misses")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def future_hits(self) -> int:
+        return self._future_hits.value
+
+    @property
+    def stale(self) -> int:
+        return self._stale.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
 
     def validate(self, addr: int, size: int, current_iv: int) -> Validation:
         """Classify one swap-in request against the staged pipeline."""
         entry = self.pipeline.find(addr, size)
         if entry is None:
-            self.misses += 1
+            self._misses.add()
             return Validation(ValidationOutcome.MISS, None)
         if entry.iv == current_iv:
-            self.hits += 1
+            self._hits.add()
             return Validation(ValidationOutcome.HIT_NOW, entry)
         if entry.iv > current_iv:
-            self.future_hits += 1
+            self._future_hits.add()
             return Validation(ValidationOutcome.HIT_FUTURE, entry)
-        self.stale += 1
+        self._stale.add()
         return Validation(ValidationOutcome.STALE, entry)
 
     @property

@@ -165,6 +165,7 @@ class FlexGenEngine:
             batch = min(config.batch_size, config.n_requests - batch_index * config.batch_size)
             for pass_index, pass_kind in enumerate(self._passes()):
                 context = config.shape.prompt_len + pass_index
+                pass_start = self.machine.sim.now
                 for layer in range(config.spec.n_layers):
                     if layer in self.offloaded:
                         yield from issue_prefetch()
@@ -188,6 +189,10 @@ class FlexGenEngine:
                     # Keep the pipeline fed while the GPU computes.
                     yield from issue_prefetch()
                     yield compute_done
+                # One model pass on the "serving" telemetry lane.
+                self.machine.sim.tracer.record(
+                    "serving.flexgen", pass_kind, pass_start, self.machine.sim.now
+                )
 
         elapsed = self.machine.sim.now - start
         generated = config.n_requests * config.shape.output_len

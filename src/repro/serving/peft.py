@@ -168,6 +168,7 @@ class PeftEngine:
                     if phase == "forward"
                     else range(config.spec.n_layers - 1, -1, -1)
                 )
+                phase_start = self.machine.sim.now
                 for layer in layer_order:
                     if layer in self._regions:
                         yield from issue_prefetch()
@@ -185,6 +186,10 @@ class PeftEngine:
                     )
                     yield from issue_prefetch()
                     yield compute_done
+                # One forward/backward phase on the "serving" lane.
+                self.machine.sim.tracer.record(
+                    "serving.peft", phase, phase_start, self.machine.sim.now
+                )
 
             # Optimizer step: adapter gradients come down, updated
             # adapters are written on the CPU (invalidating any staged

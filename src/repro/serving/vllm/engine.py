@@ -126,7 +126,11 @@ class VllmEngine:
             if sim.now - start > self.config.max_sim_time:
                 break
             self._admit_arrivals()
+            step_start = sim.now
             made_progress = yield from self._iteration()
+            if made_progress:
+                # One scheduler step on the "serving" telemetry lane.
+                sim.tracer.record("serving.vllm", "step", step_start, sim.now)
             if not made_progress:
                 next_arrival = self._next_arrival_time()
                 if next_arrival is None:

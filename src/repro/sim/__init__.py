@@ -11,7 +11,7 @@ from .core import (
 )
 from .resources import BandwidthPipe, Resource, Store, WorkerPool
 from .rng import SeededRng
-from .stats import Counter, LatencyStat, MetricSet, TimeSeries, mean, percentile
+from .stats import Counter, Histogram, LatencyStat, MetricSet, TimeSeries, mean, percentile
 from .tracing import Span, SpanTracer, render_gantt
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "Condition",
     "Counter",
     "Event",
+    "Histogram",
     "Interrupt",
     "LatencyStat",
     "MetricSet",

@@ -36,7 +36,9 @@ class SpanTracer:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self.spans: List[Span] = []
-        self._open: Dict[tuple, float] = {}
+        # Stack of open start times per (lane, label): concurrent
+        # same-label spans on one lane nest instead of overwriting.
+        self._open: Dict[tuple, List[float]] = {}
 
     def record(self, lane: str, label: str, start: float, end: float) -> None:
         """Record a closed span directly."""
@@ -47,14 +49,23 @@ class SpanTracer:
         self.spans.append(Span(lane, label, start, end))
 
     def begin(self, lane: str, label: str, now: float) -> None:
-        """Open a span; close it with :meth:`end`."""
+        """Open a span; close it with :meth:`end`. Nesting is LIFO."""
         if self.enabled:
-            self._open[(lane, label)] = now
+            self._open.setdefault((lane, label), []).append(now)
 
     def end(self, lane: str, label: str, now: float) -> None:
-        start = self._open.pop((lane, label), None)
-        if self.enabled and start is not None:
+        stack = self._open.get((lane, label))
+        if not stack:
+            return
+        start = stack.pop()
+        if not stack:
+            del self._open[(lane, label)]
+        if self.enabled:
             self.record(lane, label, start, now)
+
+    def open_depth(self, lane: str, label: str) -> int:
+        """How many spans are currently open under (lane, label)."""
+        return len(self._open.get((lane, label), ()))
 
     def lanes(self) -> List[str]:
         seen: List[str] = []
@@ -74,11 +85,14 @@ def render_gantt(
     start: Optional[float] = None,
     end: Optional[float] = None,
     lanes: Optional[Sequence[str]] = None,
+    lane_prefix: Optional[str] = None,
 ) -> str:
     """Render spans as an ASCII Gantt chart.
 
     Each lane becomes one row; spans are drawn with the first letter of
-    their label. Overlap within a lane shows as ``#``.
+    their label. Overlap within a lane shows as ``#``. ``lane_prefix``
+    keeps only lanes whose name starts with the prefix (ignored when an
+    explicit ``lanes`` list is given).
     """
     spans = tracer.spans
     if not spans:
@@ -87,7 +101,14 @@ def render_gantt(
     t1 = end if end is not None else max(s.end for s in spans)
     if t1 <= t0:
         return "(empty time window)"
-    lane_names = list(lanes) if lanes else tracer.lanes()
+    if lanes:
+        lane_names = list(lanes)
+    else:
+        lane_names = tracer.lanes()
+        if lane_prefix is not None:
+            lane_names = [l for l in lane_names if l.startswith(lane_prefix)]
+    if not lane_names:
+        return "(no matching lanes)"
     label_width = max(len(name) for name in lane_names) + 2
     scale = width / (t1 - t0)
 

@@ -1,0 +1,96 @@
+"""Typed telemetry events carried by the :class:`TelemetryHub` bus.
+
+Every event is an immutable dataclass stamped with the *simulated*
+time it occurred. Components emit the narrowest type that fits:
+
+* :class:`TransferEvent` — one memcpy crossed the runtime API
+  (either direction, swap or control traffic);
+* :class:`SpeculationEvent` — the speculation pipeline changed state
+  (stage / validate / commit / invalidate / evict / relinquish);
+* :class:`IvEvent` — one IV of the CPU→GPU stream was consumed, and
+  what for (a staged commit, an on-demand encryption, a NOP pad);
+* :class:`FaultEvent` — the MPK-style page protection fired.
+
+``request_id`` ties events back to the per-request lifecycle records
+the hub keeps (see :class:`repro.telemetry.hub.RequestRecord`); -1
+means the event is not attributable to a single request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = [
+    "TelemetryEvent",
+    "TransferEvent",
+    "SpeculationEvent",
+    "IvEvent",
+    "FaultEvent",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """Base class: one timestamped occurrence on the bus."""
+
+    time: float
+
+    @property
+    def kind(self) -> str:
+        """Short event-type tag used by exporters."""
+        return type(self).__name__.replace("Event", "").lower()
+
+    def args(self) -> Dict[str, Any]:
+        """All fields except the timestamp, for exporter payloads."""
+        out = dataclasses.asdict(self)
+        out.pop("time", None)
+        return out
+
+
+@dataclass(frozen=True)
+class TransferEvent(TelemetryEvent):
+    """One memcpy submitted through a :class:`DeviceRuntime`."""
+
+    direction: str  # "h2d" | "d2h"
+    addr: int
+    size: int
+    tag: str = ""
+    request_id: int = -1
+
+
+@dataclass(frozen=True)
+class SpeculationEvent(TelemetryEvent):
+    """A state change of the speculative-encryption pipeline."""
+
+    #: "stage" | "validate" | "commit" | "invalidate" | "evict"
+    #: | "relinquish" | "defer" | "resume"
+    action: str
+    addr: int = -1
+    size: int = -1
+    iv: int = -1
+    #: Validation outcome or invalidation reason, when applicable.
+    reason: str = ""
+    request_id: int = -1
+
+
+@dataclass(frozen=True)
+class IvEvent(TelemetryEvent):
+    """One IV of a session stream was consumed."""
+
+    stream: str  # "cpu-tx" (the only instrumented stream today)
+    iv: int
+    #: "staged" | "ondemand" | "inline" | "nop"
+    purpose: str
+    request_id: int = -1
+
+
+@dataclass(frozen=True)
+class FaultEvent(TelemetryEvent):
+    """A page-protection fault delivered to the runtime."""
+
+    addr: int
+    size: int
+    access: str  # "write" | "read"
+    owners: str = ""

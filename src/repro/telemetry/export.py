@@ -1,0 +1,202 @@
+"""Exporters: Chrome trace-event JSON, flat JSON/CSV metrics, ASCII.
+
+All exporters read the same :class:`TelemetryHub` state, so every
+output format is a view over one event stream:
+
+* :func:`chrome_trace` — the ``trace_event`` JSON format loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev. Each machine (hub)
+  becomes one *process*; lanes become named *threads* grouped under
+  the canonical names ``pcie`` / ``enc-engine`` / ``gpu-compute`` /
+  ``speculation``; typed events become instants and request lifecycle
+  records become spans on a ``requests`` lane.
+* :func:`flat_metrics` / :func:`metrics_csv` — flat metric dumps for
+  ``benchmarks/`` and offline analysis.
+* :func:`ascii_gantt` — the existing ASCII Gantt, one chart per hub.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Any, Dict, Iterable, List, Sequence
+
+from ..sim.tracing import render_gantt
+from .events import FaultEvent, IvEvent, SpeculationEvent, TransferEvent
+from .hub import TelemetryHub
+
+__all__ = [
+    "canonical_lane",
+    "chrome_trace",
+    "flat_metrics",
+    "metrics_csv",
+    "ascii_gantt",
+]
+
+
+def canonical_lane(lane: str) -> str:
+    """Map raw tracer lane names onto the canonical lane groups."""
+    if lane.startswith("serving"):
+        return "serving"
+    if lane.startswith("pcie"):
+        return "pcie"
+    if lane.startswith("enc") or lane.startswith("dec"):
+        return "enc-engine"
+    if lane == "gpu" or lane.startswith("gpu"):
+        return "gpu-compute"
+    return lane
+
+
+#: Display order of the canonical lanes in trace viewers.
+_LANE_ORDER = ("serving", "requests", "speculation", "enc-engine", "pcie", "gpu-compute")
+
+
+def _lane_sort_index(lane: str) -> int:
+    canonical = canonical_lane(lane)
+    try:
+        return _LANE_ORDER.index(canonical)
+    except ValueError:
+        return len(_LANE_ORDER)
+
+
+_EVENT_LANES = {
+    TransferEvent: "transfers",
+    SpeculationEvent: "speculation",
+    IvEvent: "iv-stream",
+    FaultEvent: "faults",
+}
+
+#: µs per simulated second (Chrome trace timestamps are microseconds).
+_US = 1e6
+
+
+def chrome_trace(hubs: Iterable[TelemetryHub]) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from one or more hubs."""
+    trace_events: List[Dict[str, Any]] = []
+    machines: List[Dict[str, Any]] = []
+
+    for pid, hub in enumerate(hubs):
+        label = hub.label or f"machine-{pid}"
+        trace_events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": label}}
+        )
+
+        # Lane → tid mapping. Event lanes are reserved even when a
+        # lane has no spans so instants always have a home thread.
+        lanes = sorted(set(hub.tracer.lanes()), key=lambda l: (_lane_sort_index(l), l))
+        for extra in ("requests", *_EVENT_LANES.values()):
+            if extra not in lanes:
+                lanes.append(extra)
+        tids: Dict[str, int] = {}
+        for tid, lane in enumerate(lanes, start=1):
+            tids[lane] = tid
+            trace_events.append(
+                {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                 "args": {"name": canonical_lane(lane)}}
+            )
+            trace_events.append(
+                {"name": "thread_sort_index", "ph": "M", "pid": pid, "tid": tid,
+                 "args": {"sort_index": _lane_sort_index(lane)}}
+            )
+
+        for span in hub.tracer.spans:
+            trace_events.append(
+                {"name": span.label, "cat": canonical_lane(span.lane), "ph": "X",
+                 "ts": span.start * _US, "dur": span.duration * _US,
+                 "pid": pid, "tid": tids[span.lane], "args": {"lane": span.lane}}
+            )
+
+        for event in hub.events:
+            lane = _EVENT_LANES.get(type(event), "events")
+            trace_events.append(
+                {"name": f"{event.kind}:{_event_title(event)}", "cat": event.kind,
+                 "ph": "i", "s": "t", "ts": event.time * _US,
+                 "pid": pid, "tid": tids.get(lane, 0), "args": event.args()}
+            )
+
+        for record in hub.requests:
+            end = record.complete_time
+            if math.isnan(end):
+                end = record.api_done_time
+            if math.isnan(end):
+                continue  # Still in flight when the run stopped.
+            name = record.outcome or record.strategy or record.kind or record.direction
+            trace_events.append(
+                {"name": f"{record.direction} {name}".strip(), "cat": "request",
+                 "ph": "X", "ts": record.submit_time * _US,
+                 "dur": max(0.0, end - record.submit_time) * _US,
+                 "pid": pid, "tid": tids["requests"], "args": record.as_dict()}
+            )
+
+        machines.append(_hub_summary(hub, label))
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"machines": machines},
+    }
+
+
+def _event_title(event) -> str:
+    if isinstance(event, SpeculationEvent):
+        return event.reason or event.action
+    if isinstance(event, IvEvent):
+        return event.purpose
+    if isinstance(event, FaultEvent):
+        return event.access
+    if isinstance(event, TransferEvent):
+        return event.direction
+    return ""
+
+
+def _hub_summary(hub: TelemetryHub, label: str) -> Dict[str, Any]:
+    outcomes = hub.outcome_counts()
+    return {
+        "label": label,
+        "spans": len(hub.tracer.spans),
+        "events": len(hub.events),
+        "dropped_events": hub.dropped_events,
+        "requests": len(hub.requests),
+        "outcomes": outcomes,
+        "success_rate": hub.success_rate(),
+    }
+
+
+def flat_metrics(hubs: Iterable[TelemetryHub]) -> List[Dict[str, Any]]:
+    """Flat per-machine metric dump: counters, latency stats, records."""
+    out = []
+    for index, hub in enumerate(hubs):
+        label = hub.label or f"machine-{index}"
+        summary = _hub_summary(hub, label)
+        summary["metrics"] = hub.metrics.snapshot()
+        summary["requests_detail"] = [r.as_dict() for r in hub.requests]
+        out.append(summary)
+    return out
+
+
+def metrics_csv(hubs: Iterable[TelemetryHub]) -> str:
+    """``machine,metric,value`` CSV over every hub's metric snapshot."""
+    buffer = io.StringIO()
+    buffer.write("machine,metric,value\n")
+    for index, hub in enumerate(hubs):
+        label = hub.label or f"machine-{index}"
+        for name, value in sorted(hub.metrics.snapshot().items()):
+            buffer.write(f"{label},{name},{value!r}\n")
+        for outcome, count in sorted(hub.outcome_counts().items()):
+            buffer.write(f"{label},requests.outcome.{outcome},{count}\n")
+        buffer.write(f"{label},requests.success_rate,{hub.success_rate()!r}\n")
+    return buffer.getvalue()
+
+
+def ascii_gantt(
+    hubs: Iterable[TelemetryHub],
+    width: int = 72,
+    lane_prefix: Any = None,
+) -> str:
+    """One ASCII Gantt chart per hub, rendered from the span stream."""
+    charts = []
+    for index, hub in enumerate(hubs):
+        label = hub.label or f"machine-{index}"
+        charts.append(f"=== {label} " + "=" * max(1, width - len(label) - 5))
+        charts.append(render_gantt(hub.tracer, width=width, lane_prefix=lane_prefix))
+    return "\n".join(charts) if charts else "(no machines traced)"

@@ -1,0 +1,272 @@
+"""The telemetry event bus and per-request lifecycle records.
+
+One :class:`TelemetryHub` lives on every :class:`repro.cc.Machine` and
+is the single sink all instrumented layers report through: the span
+tracer (PCIe / crypto-engine / GPU occupancy), the typed event stream
+(:mod:`repro.telemetry.events`) and the per-request lifecycle records
+that stitch classify → predict → stage → validate → wire into one
+queryable trace per memcpy.
+
+The hub is **disabled by default** and its disabled path is designed
+to be nearly free: ``emit`` and ``begin_request`` return after one
+attribute check, so benchmark numbers stay honest. Enabling the hub
+(directly, or for a whole experiment via :func:`recording`) turns on
+span collection and event/record retention.
+
+Counters, by contrast, are *always* live: they are plain
+:class:`~repro.sim.stats.MetricSet` counters shared with the machine,
+and the runtime's historical statistics attributes are thin properties
+over them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from ..sim.stats import MetricSet
+from ..sim.tracing import SpanTracer
+from .events import TelemetryEvent
+
+__all__ = [
+    "RequestRecord",
+    "TelemetryHub",
+    "TraceSession",
+    "active_session",
+    "recording",
+]
+
+#: Fixed transfer-size histogram buckets (bytes): 4 KB … 256 MB.
+TRANSFER_SIZE_BUCKETS = tuple(float(4096 * 4 ** i) for i in range(9))
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one memcpy, from API submission to wire landing.
+
+    Fields are filled in progressively by the runtime as the request
+    moves through classification, validation and commit; timestamps
+    are simulated seconds (``nan`` until the phase happens).
+    """
+
+    request_id: int
+    direction: str
+    addr: int
+    size: int
+    submit_time: float
+    tag: str = ""
+    #: "swap" | "swap-out" | "control"
+    kind: str = ""
+    #: Prediction stream ("weights" / "kv_cache") for swap traffic.
+    swap_class: str = ""
+    #: Validation outcome for swap-ins: hit_now/hit_future/stale/miss.
+    outcome: str = ""
+    #: How the bytes reached the wire: "staged" | "ondemand" |
+    #: "inline" | "native" | "async-decrypt" | "sync-decrypt".
+    strategy: str = ""
+    #: IV of the staged entry this request validated against (-1: none).
+    staged_iv: int = -1
+    #: IV the ciphertext actually shipped under (-1: not committed yet).
+    commit_iv: int = -1
+    #: NOPs sent to close the IV gap in front of this request.
+    nops_padded: int = 0
+    #: The request was suspended to the batch boundary (§5.3).
+    deferred: bool = False
+    api_done_time: float = math.nan
+    complete_time: float = math.nan
+
+    @property
+    def api_latency(self) -> float:
+        """Blocking time of the API call (nan until api_done)."""
+        return self.api_done_time - self.submit_time
+
+    @property
+    def wire_latency(self) -> float:
+        """Submission-to-landing time (nan until complete)."""
+        return self.complete_time - self.submit_time
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "direction": self.direction,
+            "addr": self.addr,
+            "size": self.size,
+            "tag": self.tag,
+            "kind": self.kind,
+            "swap_class": self.swap_class,
+            "outcome": self.outcome,
+            "strategy": self.strategy,
+            "staged_iv": self.staged_iv,
+            "commit_iv": self.commit_iv,
+            "nops_padded": self.nops_padded,
+            "deferred": self.deferred,
+            "submit_time": self.submit_time,
+            "api_done_time": self.api_done_time,
+            "complete_time": self.complete_time,
+        }
+
+
+class TelemetryHub:
+    """Structured event bus for one machine.
+
+    The hub aggregates four kinds of signal:
+
+    * ``metrics`` — always-on counters / latency stats / histograms
+      (shared with :attr:`Machine.metrics`);
+    * ``tracer`` — lane spans (shared with ``sim.tracer`` so existing
+      instrumentation in the resource and hardware layers flows in);
+    * ``events`` — the typed event stream, retained only when enabled;
+    * ``requests`` — per-request lifecycle records, ditto.
+    """
+
+    def __init__(
+        self,
+        sim=None,
+        metrics: Optional[MetricSet] = None,
+        tracer: Optional[SpanTracer] = None,
+        enabled: bool = False,
+        label: str = "",
+    ) -> None:
+        self.sim = sim
+        self.metrics = metrics if metrics is not None else MetricSet()
+        self.tracer = tracer if tracer is not None else SpanTracer(enabled=enabled)
+        self.label = label
+        self.events: List[TelemetryEvent] = []
+        self.requests: List[RequestRecord] = []
+        self.dropped_events = 0
+        #: Retention cap for ``events`` + spans are uncapped; None = no cap.
+        self.max_events: Optional[int] = None
+        self._subscribers: List[Callable[[TelemetryEvent], None]] = []
+        self._next_request_id = 0
+        self.enabled = enabled
+
+    # -- enablement -----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        self._enabled = bool(value)
+        self.tracer.enabled = self._enabled
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- event bus ------------------------------------------------------
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Publish one event; no-op (one attribute check) when disabled."""
+        if not self._enabled:
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+        else:
+            self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, subscriber: Callable[[TelemetryEvent], None]) -> None:
+        """Deliver every subsequent (enabled) event to ``subscriber``."""
+        self._subscribers.append(subscriber)
+
+    def events_of(self, event_type: Type[TelemetryEvent]) -> List[TelemetryEvent]:
+        """All retained events of one type, in emission order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    # -- per-request lifecycle ------------------------------------------
+
+    def begin_request(
+        self, direction: str, addr: int, size: int, time: float, tag: str = ""
+    ) -> Optional[RequestRecord]:
+        """Open a lifecycle record; returns None when disabled."""
+        if not self._enabled:
+            return None
+        record = RequestRecord(
+            request_id=self._next_request_id,
+            direction=direction,
+            addr=addr,
+            size=size,
+            submit_time=time,
+            tag=tag,
+        )
+        self._next_request_id += 1
+        self.requests.append(record)
+        return record
+
+    def mark_api_done(self, record: RequestRecord, time: float) -> None:
+        record.api_done_time = time
+
+    def mark_complete(self, record: RequestRecord, time: float) -> None:
+        record.complete_time = time
+        self.metrics.latency(f"telemetry.{record.direction}_wire_s").record(
+            max(0.0, record.wire_latency)
+        )
+        self.metrics.histogram(
+            "telemetry.transfer_bytes", TRANSFER_SIZE_BUCKETS
+        ).record(float(record.size))
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Validation outcome counts over the recorded swap-in requests."""
+        counts: Dict[str, int] = {}
+        for record in self.requests:
+            if record.outcome:
+                counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+    def success_rate(self) -> float:
+        """Staged-service fraction recomputed from the request records.
+
+        Matches :attr:`repro.core.validator.Validator.success_rate`
+        when the hub was enabled for the machine's whole lifetime.
+        """
+        counts = self.outcome_counts()
+        total = sum(counts.values())
+        if not total:
+            return 0.0
+        return (counts.get("hit_now", 0) + counts.get("hit_future", 0)) / total
+
+
+class TraceSession:
+    """Collects the hubs of every machine built while recording."""
+
+    def __init__(self, max_events_per_hub: Optional[int] = None) -> None:
+        self.hubs: List[TelemetryHub] = []
+        self.max_events_per_hub = max_events_per_hub
+
+    def register(self, hub: TelemetryHub) -> None:
+        hub.max_events = self.max_events_per_hub
+        hub.enable()
+        if not hub.label:
+            hub.label = f"machine-{len(self.hubs)}"
+        self.hubs.append(hub)
+
+
+_SESSIONS: List[TraceSession] = []
+
+
+def active_session() -> Optional[TraceSession]:
+    """The innermost live :func:`recording` session, if any."""
+    return _SESSIONS[-1] if _SESSIONS else None
+
+
+@contextlib.contextmanager
+def recording(max_events_per_hub: Optional[int] = None):
+    """Enable telemetry for every machine built inside the block.
+
+    >>> with recording() as session:
+    ...     result = fig2_microbenchmark("quick")
+    >>> chrome_trace(session.hubs)  # doctest: +SKIP
+    """
+    session = TraceSession(max_events_per_hub=max_events_per_hub)
+    _SESSIONS.append(session)
+    try:
+        yield session
+    finally:
+        _SESSIONS.remove(session)

@@ -26,6 +26,31 @@ class TestSpanTracer:
         tracer.end("lane", "x", 2.0)
         assert tracer.spans == []
 
+    def test_nested_same_key_spans(self):
+        # Regression: begin/begin/end/end on one (lane, label) used to
+        # overwrite the first start; now the opens stack LIFO.
+        tracer = SpanTracer()
+        tracer.begin("pool", "job", 0.0)
+        tracer.begin("pool", "job", 1.0)
+        assert tracer.open_depth("pool", "job") == 2
+        tracer.end("pool", "job", 2.0)   # closes the inner (1.0) open
+        tracer.end("pool", "job", 5.0)   # closes the outer (0.0) open
+        assert tracer.open_depth("pool", "job") == 0
+        durations = sorted(s.duration for s in tracer.spans)
+        assert durations == pytest.approx([1.0, 5.0])
+
+    def test_overlapping_spans_all_retained(self):
+        tracer = SpanTracer()
+        tracer.record("lane", "a", 0.0, 2.0)
+        tracer.record("lane", "a", 1.0, 3.0)
+        assert len(tracer.spans) == 2
+        assert tracer.busy_time("lane") == pytest.approx(4.0)
+
+    def test_zero_duration_span_allowed(self):
+        tracer = SpanTracer()
+        tracer.record("lane", "tick", 1.0, 1.0)
+        assert tracer.spans[0].duration == 0.0
+
     def test_disabled_records_nothing(self):
         tracer = SpanTracer(enabled=False)
         tracer.record("gpu", "c", 0.0, 1.0)
@@ -62,6 +87,25 @@ class TestRenderGantt:
         tracer.record("drop", "b", 0.0, 1.0)
         text = render_gantt(tracer, lanes=["keep"])
         assert "keep" in text and "drop" not in text
+
+    def test_lane_prefix_filter(self):
+        tracer = SpanTracer()
+        tracer.record("pcie.h2d", "t", 0.0, 1.0)
+        tracer.record("pcie.d2h", "t", 0.0, 1.0)
+        tracer.record("gpu", "c", 0.0, 1.0)
+        text = render_gantt(tracer, lane_prefix="pcie")
+        assert "pcie.h2d" in text and "pcie.d2h" in text and "gpu" not in text
+
+    def test_lane_prefix_no_match(self):
+        tracer = SpanTracer()
+        tracer.record("gpu", "c", 0.0, 1.0)
+        assert "no matching lanes" in render_gantt(tracer, lane_prefix="pcie")
+
+    def test_explicit_lanes_override_prefix(self):
+        tracer = SpanTracer()
+        tracer.record("gpu", "c", 0.0, 1.0)
+        text = render_gantt(tracer, lanes=["gpu"], lane_prefix="pcie")
+        assert "gpu" in text
 
 
 class TestIntegration:

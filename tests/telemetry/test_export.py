@@ -1,0 +1,147 @@
+"""Exporter tests: Chrome trace validity, flat dumps, ASCII Gantt."""
+
+import json
+
+import pytest
+
+from repro.cc import CcMode, build_machine
+from repro.core import PipeLLMConfig, PipeLLMRuntime
+from repro.hw import MB
+from repro.telemetry import (
+    ascii_gantt,
+    canonical_lane,
+    chrome_trace,
+    flat_metrics,
+    metrics_csv,
+    recording,
+)
+
+LAYER = 8 * MB
+
+
+def traced_run(iterations=6):
+    """One PipeLLM swap loop recorded through the hub."""
+    with recording() as session:
+        machine = build_machine(CcMode.ENABLED, enc_threads=4, dec_threads=2)
+        runtime = PipeLLMRuntime(machine, PipeLLMConfig())
+        region = machine.host_memory.allocate(LAYER, "layer.0", b"weights")
+        runtime.hint_weight_chunk_size(LAYER)
+
+        def app():
+            for _ in range(iterations):
+                handle = runtime.memcpy_h2d(machine.host_memory.chunk_at(region.addr))
+                yield handle.complete
+                yield machine.gpu.compute(1e10, 1e7, layers=1)
+
+        machine.sim.process(app())
+        machine.run()
+    assert machine.gpu.auth_failures == 0
+    return session
+
+
+class TestCanonicalLane:
+    @pytest.mark.parametrize("raw,expected", [
+        ("pcie.h2d.cc", "pcie"),
+        ("pcie.d2h", "pcie"),
+        ("enc[0]", "enc-engine"),
+        ("dec[1]", "enc-engine"),
+        ("gpu", "gpu-compute"),
+        ("serving.vllm", "serving"),
+        ("speculation", "speculation"),
+        ("requests", "requests"),
+    ])
+    def test_mapping(self, raw, expected):
+        assert canonical_lane(raw) == expected
+
+
+class TestChromeTrace:
+    def test_valid_json_with_required_lanes(self):
+        session = traced_run()
+        doc = chrome_trace(session.hubs)
+        json.loads(json.dumps(doc))  # round-trips as strict JSON
+
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        spans = [e for e in events if e.get("ph") == "X"]
+        cats = {e["cat"] for e in spans}
+        for lane in ("pcie", "enc-engine", "gpu-compute", "speculation"):
+            assert lane in cats, f"missing {lane} spans"
+        # Timestamps are microseconds, non-negative, with durations.
+        for span in spans:
+            assert span["ts"] >= 0.0 and span["dur"] >= 0.0
+
+    def test_process_and_thread_metadata(self):
+        session = traced_run()
+        doc = chrome_trace(session.hubs)
+        meta = [e for e in doc["traceEvents"] if e.get("ph") == "M"]
+        names = {e["name"] for e in meta}
+        assert {"process_name", "thread_name", "thread_sort_index"} <= names
+
+    def test_request_spans_carry_lifecycle(self):
+        session = traced_run()
+        doc = chrome_trace(session.hubs)
+        requests = [e for e in doc["traceEvents"]
+                    if e.get("ph") == "X" and e.get("cat") == "request"]
+        assert requests
+        swap = next(e for e in requests if e["args"]["kind"] == "swap")
+        assert swap["args"]["outcome"] in ("hit_now", "hit_future", "stale", "miss")
+
+    def test_instants_for_typed_events(self):
+        session = traced_run()
+        doc = chrome_trace(session.hubs)
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        kinds = {e["cat"] for e in instants}
+        assert "speculation" in kinds and "transfer" in kinds
+
+    def test_machine_summaries(self):
+        session = traced_run()
+        doc = chrome_trace(session.hubs)
+        (summary,) = doc["otherData"]["machines"]
+        assert summary["requests"] == 6
+        assert summary["dropped_events"] == 0
+        assert sum(summary["outcomes"].values()) > 0
+
+    def test_outcomes_match_validator(self):
+        session = traced_run(iterations=8)
+        hub = session.hubs[0]
+        doc = chrome_trace(session.hubs)
+        (summary,) = doc["otherData"]["machines"]
+        validator_total = int(hub.metrics.counter("validator.hits").value
+                              + hub.metrics.counter("validator.future_hits").value
+                              + hub.metrics.counter("validator.stale").value
+                              + hub.metrics.counter("validator.misses").value)
+        assert sum(summary["outcomes"].values()) == validator_total
+
+
+class TestFlatDumps:
+    def test_flat_metrics(self):
+        session = traced_run()
+        (dump,) = flat_metrics(session.hubs)
+        assert dump["metrics"]["pipeline.staged_total"] > 0
+        assert "telemetry.h2d_wire_s.p50" in dump["metrics"]
+        assert "telemetry.transfer_bytes.bucket.overflow" in dump["metrics"]
+        assert len(dump["requests_detail"]) == 6
+        json.dumps(dump)  # serializable as-is
+
+    def test_metrics_csv(self):
+        session = traced_run()
+        text = metrics_csv(session.hubs)
+        lines = text.strip().splitlines()
+        assert lines[0] == "machine,metric,value"
+        assert any("requests.success_rate" in line for line in lines)
+        assert any("validator.hits" in line for line in lines)
+
+
+class TestAsciiGantt:
+    def test_renders_per_hub(self):
+        session = traced_run()
+        text = ascii_gantt(session.hubs, width=40)
+        assert "===" in text and "pcie" in text
+
+    def test_lane_prefix_filter(self):
+        session = traced_run()
+        text = ascii_gantt(session.hubs, width=40, lane_prefix="pcie")
+        assert "pcie" in text and "gpu" not in text
+
+    def test_no_hubs(self):
+        assert "no machines" in ascii_gantt([])
