@@ -24,6 +24,7 @@ from .experiments import (
 )
 from .systems import CC, SystemSpec, WITHOUT_CC, cc_threads, pipellm, pipellm_zero
 from .claims import CLAIMS, Claim, ClaimOutcome, verify_claims
+from .cluster import cluster_scaling
 from .extensions import extension_layerwise_fifo, extension_zero_offload
 from .teeio import TEEIO_LINE_RATE, extension_teeio_scaling, teeio_params
 from .tables import ExperimentResult
@@ -38,6 +39,7 @@ __all__ = [
     "Claim",
     "ClaimOutcome",
     "verify_claims",
+    "cluster_scaling",
     "ExperimentResult",
     "FULL",
     "QUICK",

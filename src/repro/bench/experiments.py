@@ -35,7 +35,7 @@ from ..serving import (
     VllmConfig,
     VllmEngine,
 )
-from ..sim import SeededRng
+from ..sim import SeededRng, default_seed
 from ..workloads import (
     ALPACA,
     SHAREGPT,
@@ -136,7 +136,7 @@ def run_peft(
 ):
     """Run one PEFT fine-tuning configuration; returns (result, runtime)."""
     machine, runtime = system.build()
-    batches = ultrachat_batches(steps, batch_size, SeededRng(seed))
+    batches = ultrachat_batches(steps, batch_size, SeededRng(default_seed(seed)))
     config = PeftConfig(spec, batches, resident_layers=resident_layers)
     engine = PeftEngine(machine, runtime, config)
     return engine.run(), runtime
@@ -154,7 +154,7 @@ def run_vllm(
 ):
     """Run one vLLM serving configuration; returns (result, runtime)."""
     machine, runtime = system.build()
-    requests = poisson_trace(trace, rate, duration, SeededRng(seed), parallel_n=parallel_n)
+    requests = poisson_trace(trace, rate, duration, SeededRng(default_seed(seed)), parallel_n=parallel_n)
     config = VllmConfig(spec, requests, reserve_bytes=reserve_bytes)
     engine = VllmEngine(machine, runtime, config)
     return engine.run(), runtime

@@ -16,7 +16,7 @@ from ..serving import (
     ZeroOffloadConfig,
     ZeroOffloadEngine,
 )
-from ..sim import SeededRng
+from ..sim import SeededRng, default_seed
 from ..workloads import SyntheticShape, ultrachat_batches
 from .experiments import _scale
 from .systems import CC, WITHOUT_CC, pipellm
@@ -77,7 +77,7 @@ def extension_zero_offload(scale="quick") -> ExperimentResult:
     stats = {}
     for system in (WITHOUT_CC, CC, pipellm(8, 8)):
         machine, runtime = system.build()
-        batches = ultrachat_batches(steps, 16, SeededRng(7))
+        batches = ultrachat_batches(steps, 16, SeededRng(default_seed(7)))
         config = ZeroOffloadConfig(OPT_13B, batches, resident_layers=30)
         res = ZeroOffloadEngine(machine, runtime, config).run()
         if machine.gpu.auth_failures:

@@ -43,13 +43,19 @@ class SystemSpec:
     def uses_pipellm(self) -> bool:
         return self.pipellm_config is not None
 
-    def build(self, params: Optional[HardwareParams] = None) -> Tuple[Machine, DeviceRuntime]:
-        """Instantiate a fresh machine plus its runtime."""
+    def build(self, params: Optional[HardwareParams] = None, sim=None) -> Tuple[Machine, DeviceRuntime]:
+        """Instantiate a fresh machine plus its runtime.
+
+        ``sim`` embeds the machine in an existing simulator (cluster
+        replicas share one kernel); None keeps the historical
+        one-machine-one-simulator behaviour.
+        """
         machine = Machine(
             self.cc_mode,
             params=params,
             enc_threads=self.enc_threads,
             dec_threads=self.dec_threads,
+            sim=sim,
         )
         # Telemetry traces group machines by system name (e.g. one
         # Perfetto process per "PipeLLM" / "CC" instance).

@@ -21,8 +21,9 @@ model.
 from __future__ import annotations
 
 import abc
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from ..hw.memory import MemoryChunk
 from ..sim import Event, Simulator
@@ -30,7 +31,12 @@ from ..telemetry import TransferEvent
 from ..telemetry.hub import RequestRecord
 from .machine import CcMode, Machine
 
-__all__ = ["CudaContext", "DeviceRuntime", "TransferHandle", "TransferRecord"]
+__all__ = ["CudaContext", "DeviceRuntime", "TransferHandle", "TransferLog", "TransferRecord"]
+
+#: Default retention for the observed-transfer ring buffer. Pattern
+#: detectors only ever look at a short recent window, so bounding the
+#: log keeps week-long multi-replica runs at constant memory.
+DEFAULT_TRACE_CAP = 65536
 
 H2D = "h2d"
 D2H = "d2h"
@@ -59,14 +65,53 @@ class TransferRecord:
     tag: str
 
 
+class TransferLog:
+    """Ring buffer of the most recent :class:`TransferRecord` entries.
+
+    Looks like a read-only list over the retained window (newest-last)
+    while keeping whole-run statistics exact: ``total`` counts every
+    record ever appended, ``dropped`` how many fell off the front.
+    """
+
+    def __init__(self, cap: Optional[int] = DEFAULT_TRACE_CAP) -> None:
+        if cap is not None and cap < 1:
+            raise ValueError("trace cap must be positive (or None for unbounded)")
+        self.cap = cap
+        self._records: deque = deque(maxlen=cap)
+        self.total = 0
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted from the front of the ring."""
+        return self.total - len(self._records)
+
+    def append(self, record: TransferRecord) -> None:
+        self._records.append(record)
+        self.total += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TransferRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._records)[index]
+        return self._records[index]
+
+    def __repr__(self) -> str:
+        return f"TransferLog(retained={len(self)}, total={self.total}, cap={self.cap})"
+
+
 class DeviceRuntime(abc.ABC):
     """The memcpy/synchronize surface all serving engines use."""
 
-    def __init__(self, machine: Machine) -> None:
+    def __init__(self, machine: Machine, trace_cap: Optional[int] = DEFAULT_TRACE_CAP) -> None:
         self.machine = machine
         self.sim: Simulator = machine.sim
         self._outstanding: List[Event] = []
-        self.trace: List[TransferRecord] = []
+        self.trace = TransferLog(cap=trace_cap)
         self._observers: List[Callable[[TransferRecord], None]] = []
 
     # -- interface ---------------------------------------------------------
@@ -144,8 +189,10 @@ class DeviceRuntime(abc.ABC):
 class CudaContext(DeviceRuntime):
     """Baseline runtimes: native ("w/o CC") and NVIDIA CC ("CC")."""
 
-    def __init__(self, machine: Machine) -> None:
-        super().__init__(machine)
+    def __init__(
+        self, machine: Machine, trace_cap: Optional[int] = DEFAULT_TRACE_CAP
+    ) -> None:
+        super().__init__(machine, trace_cap=trace_cap)
         self.params = machine.params
 
     # -- host to device ---------------------------------------------------

@@ -22,6 +22,7 @@ from ..crypto import (
 )
 from ..hw import CryptoEngine, DmaStaging, GpuEnclave, HardwareParams, HostMemory, default_params
 from ..sim import MetricSet, Simulator
+from ..sim.tracing import SpanTracer
 from ..hw.pcie import PcieLink
 from ..telemetry import TelemetryHub, active_session
 
@@ -49,17 +50,27 @@ class Machine:
         dec_threads: int = 1,
         key: bytes = _DEFAULT_KEY,
         session: Optional[SecureSession] = None,
+        sim: Optional[Simulator] = None,
     ) -> None:
         self.params = params or default_params()
         self.cc_mode = cc_mode
-        self.sim = Simulator()
+        #: A cluster runs many machines inside one shared simulator so
+        #: their event timelines interleave; a standalone machine owns
+        #: its own kernel, exactly as before.
+        self.shared_sim = sim is not None
+        self.sim = sim if sim is not None else Simulator()
         self.metrics = MetricSet()
         # The unified telemetry hub: shares the sim's span tracer (so
         # resource/hardware instrumentation flows in) and the machine's
         # metric registry. Disabled unless a recording session is
         # active — the disabled fast path is a single attribute check.
+        # Machines sharing a simulator get a private tracer instead:
+        # the shared kernel tracer belongs to the cluster-level hub,
+        # so hardware lanes are not duplicated once per replica.
         self.telemetry = TelemetryHub(
-            sim=self.sim, metrics=self.metrics, tracer=self.sim.tracer
+            sim=self.sim,
+            metrics=self.metrics,
+            tracer=SpanTracer(enabled=False) if self.shared_sim else self.sim.tracer,
         )
         trace_session = active_session()
         if trace_session is not None:
@@ -114,6 +125,7 @@ def build_attested_machine(
     device_id: str = "gpu-0",
     host_seed: bytes = b"cvm-driver-seed",
     device_seed: bytes = b"h100-device-seed",
+    sim: Optional[Simulator] = None,
 ) -> Machine:
     """Full CC bring-up: handshake, attestation, then the machine.
 
@@ -141,4 +153,5 @@ def build_attested_machine(
         enc_threads=enc_threads,
         dec_threads=dec_threads,
         session=session,
+        sim=sim,
     )

@@ -13,6 +13,12 @@ Commands:
   re-run one experiment with telemetry recording on and export the
   unified trace (Chrome ``trace_event`` JSON loads directly into
   https://ui.perfetto.dev).
+* ``cluster [--replicas N --policy P --fail-at T]`` — serve a
+  multi-tenant Poisson workload on N confidential replicas behind the
+  encrypted-session gateway and print the throughput/latency summary.
+
+``run``, ``all``, ``trace`` and ``cluster`` accept ``--seed N`` to
+override every workload generator's RNG seed process-wide.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from typing import Callable, Dict, List, Optional
 
 from .bench import (
     ablation_async_decrypt,
+    cluster_scaling,
     verify_claims,
     extension_layerwise_fifo,
     extension_zero_offload,
@@ -60,6 +67,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext-teeio": extension_teeio_scaling,
     "ext-layerwise": extension_layerwise_fifo,
     "ext-zero": extension_zero_offload,
+    "cluster": cluster_scaling,
 }
 
 _SYSTEMS_HELP = """\
@@ -89,9 +97,36 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--scale", choices=("quick", "full"), default="quick")
     run.add_argument("--json", action="store_true", help="emit the result rows as JSON")
+    run.add_argument("--seed", type=int, default=None, metavar="N",
+                     help="override every workload generator's RNG seed")
 
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--scale", choices=("quick", "full"), default="quick")
+    everything.add_argument("--seed", type=int, default=None, metavar="N",
+                            help="override every workload generator's RNG seed")
+
+    cluster = sub.add_parser(
+        "cluster", help="serve a multi-tenant workload on N confidential replicas"
+    )
+    cluster.add_argument("--replicas", type=int, default=2, metavar="N")
+    cluster.add_argument("--policy",
+                         choices=("round-robin", "least-loaded", "affinity"),
+                         default="least-loaded")
+    cluster.add_argument("--system", choices=("pipellm", "cc", "native"),
+                         default="pipellm", help="per-replica runtime")
+    cluster.add_argument("--rate", type=float, default=4.0, metavar="RPS",
+                         help="Poisson arrival rate (requests/s)")
+    cluster.add_argument("--duration", type=float, default=10.0, metavar="S",
+                         help="arrival window (simulated seconds)")
+    cluster.add_argument("--tenants", type=int, default=4, metavar="N")
+    cluster.add_argument("--fail-at", type=float, default=None, metavar="T",
+                         help="crash one replica at simulated time T")
+    cluster.add_argument("--fail-replica", type=int, default=0, metavar="I")
+    cluster.add_argument("--recover-after", type=float, default=5.0, metavar="S",
+                         help="crash-to-recovery delay (0 = stays down)")
+    cluster.add_argument("--seed", type=int, default=None, metavar="N")
+    cluster.add_argument("--json", action="store_true",
+                         help="emit the run summary as JSON")
 
     trace = sub.add_parser(
         "trace", help="run one experiment with telemetry on and export the trace"
@@ -107,6 +142,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write to FILE instead of stdout")
     trace.add_argument("--max-events", type=int, default=None, metavar="N",
                        help="retain at most N typed events per machine")
+    trace.add_argument("--seed", type=int, default=None,
+                       help="override every workload generator's RNG seed")
     return parser
 
 
@@ -145,9 +182,66 @@ def _run_trace(args, out) -> int:
     return 0
 
 
+def _run_cluster(args, out) -> int:
+    from .cluster import run_cluster
+    from .core import ClusterConfig
+
+    config = ClusterConfig(
+        replicas=args.replicas,
+        policy=args.policy,
+        system=args.system,
+        fail_at=args.fail_at,
+        fail_replica=args.fail_replica,
+        recover_after=args.recover_after,
+        seed=args.seed if args.seed is not None else 42,
+    )
+    start = time.time()
+    result = run_cluster(
+        config, rate=args.rate, duration=args.duration, tenants=args.tenants
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2), file=out)
+        return 0
+    print(
+        f"cluster: {result.replicas} replicas ({result.system}), "
+        f"policy={result.policy}, rate={args.rate:g} req/s, "
+        f"{args.tenants} tenants", file=out,
+    )
+    rows = [
+        ("offered / completed / shed",
+         f"{result.offered} / {result.completed} / {result.shed}"),
+        ("throughput", f"{result.throughput:.2f} req/s"),
+        ("latency p50 / p99",
+         f"{result.p50_latency * 1e3:.1f} ms / {result.p99_latency * 1e3:.1f} ms"),
+        ("gateway queue depth (mean)", f"{result.queue_depth_mean:.2f}"),
+        ("handshakes / failovers / crashes",
+         f"{result.handshakes} / {result.failovers} / {result.crashes}"),
+        ("prefix hits / swap-outs",
+         f"{result.prefix_hits} / {result.swap_outs}"),
+        ("auth failures", str(result.auth_failures)),
+        ("IVs audited", f"{result.iv_observed} over {result.iv_lanes} lanes"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"  {label.ljust(width)}  {value}", file=out)
+    util = "  ".join(
+        f"r{rid}={frac * 100:.0f}%" for rid, frac in sorted(result.utilization.items())
+    )
+    print(f"  {'per-replica GPU utilization'.ljust(width)}  {util}", file=out)
+    for tenant, frac in sorted(result.slo_attainment.items()):
+        print(f"  {f'SLO attainment {tenant}'.ljust(width)}  {frac * 100:.0f}%",
+              file=out)
+    print(f"[cluster: {time.time() - start:.1f}s]", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
+    if getattr(args, "seed", None) is not None:
+        from .sim import set_default_seed
+
+        set_default_seed(args.seed)
     if args.command == "list":
         for name, fn in EXPERIMENTS.items():
             summary = (fn.__doc__ or "").strip().splitlines()[0]
@@ -184,6 +278,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 0
     if args.command == "trace":
         return _run_trace(args, out)
+    if args.command == "cluster":
+        return _run_cluster(args, out)
     return 2
 
 

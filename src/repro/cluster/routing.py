@@ -1,0 +1,113 @@
+"""Pluggable gateway routing policies.
+
+A policy picks which live replica serves a request. Three are built
+in, mirroring the classic serving trade-offs:
+
+* **round-robin** — cycle over live replicas; oblivious but fair.
+* **least-loaded** — fewest outstanding requests (queued + running);
+  tracks the fleet's instantaneous imbalance, which failures create.
+* **affinity** — rendezvous (highest-random-weight) hashing of the
+  tenant id over the live replica set. A tenant keeps landing on the
+  same replica, so the replica's vLLM-style prefix KV blocks for that
+  tenant are reused across requests (warm prefill); when the preferred
+  replica dies, only that replica's tenants re-map, and they re-map
+  consistently. Overload falls back to the least-loaded survivor.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from typing import Dict, List, Optional, Sequence, Type
+
+__all__ = [
+    "AffinityPolicy",
+    "LeastLoadedPolicy",
+    "POLICIES",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "make_policy",
+]
+
+
+class RoutingPolicy(abc.ABC):
+    """Chooses a replica for one request; None = nothing can take it."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def choose(self, tenant: str, replicas: Sequence["Replica"]) -> Optional["Replica"]:
+        """Pick among ``replicas`` (pre-filtered to live, non-full)."""
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle replica ids regardless of load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, tenant, replicas):
+        if not replicas:
+            return None
+        # Rotate over replica *ids* so a dead replica's slot is skipped
+        # without desynchronizing the cycle for the others.
+        ordered = sorted(replicas, key=lambda r: r.replica_id)
+        chosen = ordered[self._next % len(ordered)]
+        self._next += 1
+        return chosen
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Fewest outstanding requests, replica id as the tie-break."""
+
+    name = "least-loaded"
+
+    def choose(self, tenant, replicas):
+        if not replicas:
+            return None
+        return min(replicas, key=lambda r: (r.outstanding, r.replica_id))
+
+
+class AffinityPolicy(RoutingPolicy):
+    """Rendezvous hashing of tenant → replica for KV prefix reuse."""
+
+    name = "affinity"
+
+    #: A preferred replica more loaded than the fleet minimum by this
+    #: many requests forfeits its affinity traffic (hot-tenant guard).
+    overload_slack = 4
+
+    @staticmethod
+    def _weight(tenant: str, replica_id: int) -> int:
+        digest = hashlib.sha256(f"{tenant}:{replica_id}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def choose(self, tenant, replicas):
+        if not replicas:
+            return None
+        preferred = max(
+            replicas, key=lambda r: (self._weight(tenant, r.replica_id), -r.replica_id)
+        )
+        floor = min(r.outstanding for r in replicas)
+        if preferred.outstanding - floor > self.overload_slack:
+            return min(replicas, key=lambda r: (r.outstanding, r.replica_id))
+        return preferred
+
+
+POLICIES: Dict[str, Type[RoutingPolicy]] = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    AffinityPolicy.name: AffinityPolicy,
+}
+
+
+def make_policy(name: str) -> RoutingPolicy:
+    """Instantiate a routing policy by its registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None

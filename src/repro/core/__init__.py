@@ -1,7 +1,7 @@
 """PipeLLM core: speculative pipelined encryption runtime."""
 
 from .classify import SwapClass, TransferClass, TransferClassifier
-from .config import PipeLLMConfig
+from .config import ClusterConfig, PipeLLMConfig
 from .patterns import (
     FifoDetector,
     LifoDetector,
@@ -19,6 +19,7 @@ __all__ = [
     "LifoDetector",
     "MarkovDetector",
     "PatternDetector",
+    "ClusterConfig",
     "PipeLLMConfig",
     "PipeLLMRuntime",
     "PredictionTarget",

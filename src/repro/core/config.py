@@ -1,4 +1,4 @@
-"""PipeLLM runtime configuration knobs."""
+"""PipeLLM runtime and cluster configuration knobs."""
 
 from __future__ import annotations
 
@@ -7,7 +7,7 @@ from typing import Optional
 
 from .classify import DEFAULT_SWAP_THRESHOLD
 
-__all__ = ["PipeLLMConfig"]
+__all__ = ["ClusterConfig", "PipeLLMConfig"]
 
 
 @dataclass
@@ -62,3 +62,71 @@ class PipeLLMConfig:
             raise ValueError("leeway must be non-negative")
         if self.swap_threshold <= 0:
             raise ValueError("swap_threshold must be positive")
+
+
+#: Routing policy names accepted by :class:`ClusterConfig` (resolved
+#: by :mod:`repro.cluster.routing`).
+CLUSTER_POLICIES = ("round-robin", "least-loaded", "affinity")
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables of the multi-replica confidential serving cluster.
+
+    One config describes the whole fleet: how many CVM+GPU replicas
+    run inside the shared simulator, how the gateway admits and routes
+    per-tenant sessions, the SLO the service advertises, and the
+    optional replica fault to inject.
+    """
+
+    #: Number of CVM+GPU replicas behind the gateway.
+    replicas: int = 2
+    #: Routing policy name (see ``CLUSTER_POLICIES``).
+    policy: str = "least-loaded"
+    #: Per-replica runtime: "pipellm", "cc" (inline baseline) or
+    #: "native" (CC off — the w/o-CC fleet baseline).
+    system: str = "pipellm"
+    #: Gateway admission queue capacity; arrivals beyond it are shed.
+    queue_capacity: int = 64
+    #: Queued requests older than this are shed (seconds).
+    admission_timeout: float = 5.0
+    #: End-to-end latency target counted for SLO attainment (seconds).
+    slo_latency: float = 30.0
+    #: Maximum requests concurrently resident on one replica
+    #: (running + locally queued); the gateway holds the rest.
+    max_outstanding: int = 8
+    #: Modeled latency of one tenant key-exchange + attestation.
+    handshake_latency: float = 500e-6
+    #: vLLM-style KV block size (tokens) on each replica.
+    block_size: int = 16
+    #: GPU bytes reserved away from the KV pool (pressure knob).
+    reserve_bytes: int = 4 << 30
+    #: Simulated time at which one replica crashes (None = no fault).
+    fail_at: Optional[float] = None
+    #: Which replica index the fault hits.
+    fail_replica: int = 0
+    #: Crash-to-recovery delay (seconds); the replica re-attests and
+    #: rejoins with a fresh machine incarnation.
+    recover_after: float = 10.0
+    #: Workload / payload seed (the CLI ``--seed`` overrides it).
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.policy not in CLUSTER_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; choose from {CLUSTER_POLICIES}"
+            )
+        if self.system not in ("pipellm", "cc", "native"):
+            raise ValueError(f"unknown system {self.system!r}")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.admission_timeout <= 0 or self.slo_latency <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        if not 0 <= self.fail_replica < self.replicas:
+            raise ValueError("fail_replica out of range")
+        if self.recover_after < 0:
+            raise ValueError("recover_after must be non-negative")

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..cc.api import D2H, H2D, DeviceRuntime, TransferHandle
+from ..cc.api import D2H, DEFAULT_TRACE_CAP, H2D, DeviceRuntime, TransferHandle
 from ..cc.machine import Machine
 from ..hw.memory import MemoryChunk, PageFault
 from ..sim import Event
@@ -62,10 +62,15 @@ class _PendingDecrypt:
 class PipeLLMRuntime(DeviceRuntime):
     """Speculative pipelined encryption over a CC-enabled machine."""
 
-    def __init__(self, machine: Machine, config: Optional[PipeLLMConfig] = None) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        config: Optional[PipeLLMConfig] = None,
+        trace_cap: Optional[int] = DEFAULT_TRACE_CAP,
+    ) -> None:
         if not machine.cc_enabled:
             raise ValueError("PipeLLM requires a CC-enabled machine")
-        super().__init__(machine)
+        super().__init__(machine, trace_cap=trace_cap)
         self.params = machine.params
         self.config = config or PipeLLMConfig()
         self.classifier = TransferClassifier(swap_threshold=self.config.swap_threshold)

@@ -10,7 +10,7 @@ from .core import (
     Timeout,
 )
 from .resources import BandwidthPipe, Resource, Store, WorkerPool
-from .rng import SeededRng
+from .rng import SeededRng, default_seed, set_default_seed
 from .stats import Counter, Histogram, LatencyStat, MetricSet, TimeSeries, mean, percentile
 from .tracing import Span, SpanTracer, render_gantt
 
@@ -26,6 +26,8 @@ __all__ = [
     "Process",
     "Resource",
     "SeededRng",
+    "default_seed",
+    "set_default_seed",
     "SimulationError",
     "Span",
     "SpanTracer",

@@ -11,7 +11,28 @@ from __future__ import annotations
 import math
 import random
 import zlib
-from typing import List, Sequence
+from typing import List, Optional, Sequence
+
+__all__ = ["SeededRng", "default_seed", "set_default_seed"]
+
+#: Process-wide seed override, set by the CLI's ``--seed`` option so a
+#: whole experiment (every workload generator and engine it builds) is
+#: reproducible from the command line. None = each call site's own
+#: built-in default applies.
+_SEED_OVERRIDE: Optional[int] = None
+
+
+def set_default_seed(seed: Optional[int]) -> None:
+    """Install (or with None, clear) the process-wide seed override."""
+    global _SEED_OVERRIDE
+    if seed is not None and seed < 0:
+        raise ValueError("seed must be non-negative")
+    _SEED_OVERRIDE = seed
+
+
+def default_seed(fallback: int) -> int:
+    """The effective seed: the CLI override if set, else ``fallback``."""
+    return _SEED_OVERRIDE if _SEED_OVERRIDE is not None else fallback
 
 
 class SeededRng:

@@ -12,6 +12,7 @@ The observability layer every other subsystem reports through:
 """
 
 from .events import (
+    ClusterEvent,
     FaultEvent,
     IvEvent,
     SpeculationEvent,
@@ -34,6 +35,7 @@ from .hub import (
 )
 
 __all__ = [
+    "ClusterEvent",
     "FaultEvent",
     "IvEvent",
     "RequestRecord",

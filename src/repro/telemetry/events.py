@@ -28,6 +28,7 @@ __all__ = [
     "SpeculationEvent",
     "IvEvent",
     "FaultEvent",
+    "ClusterEvent",
 ]
 
 
@@ -94,3 +95,23 @@ class FaultEvent(TelemetryEvent):
     size: int
     access: str  # "write" | "read"
     owners: str = ""
+
+
+@dataclass(frozen=True)
+class ClusterEvent(TelemetryEvent):
+    """A request- or replica-level state change at the cluster layer.
+
+    Emitted by the gateway (admission, routing, shedding, per-tenant
+    handshakes, completions) and the fault injector (crash/recover).
+    ``request_id`` is the cluster-wide request id, unrelated to the
+    per-machine memcpy lifecycle ids.
+    """
+
+    #: "enqueue" | "dispatch" | "handshake" | "complete" | "shed"
+    #: | "failover" | "crash" | "recover"
+    action: str
+    tenant: str = ""
+    replica: int = -1
+    request_id: int = -1
+    #: Shed reason, crash epoch, routing policy note, etc.
+    detail: str = ""

@@ -21,7 +21,7 @@ import math
 from typing import Any, Dict, Iterable, List, Sequence
 
 from ..sim.tracing import render_gantt
-from .events import FaultEvent, IvEvent, SpeculationEvent, TransferEvent
+from .events import ClusterEvent, FaultEvent, IvEvent, SpeculationEvent, TransferEvent
 from .hub import TelemetryHub
 
 __all__ = [
@@ -35,6 +35,8 @@ __all__ = [
 
 def canonical_lane(lane: str) -> str:
     """Map raw tracer lane names onto the canonical lane groups."""
+    if lane.startswith("cluster") or lane.startswith("gateway"):
+        return "cluster"
     if lane.startswith("serving"):
         return "serving"
     if lane.startswith("pcie"):
@@ -47,7 +49,9 @@ def canonical_lane(lane: str) -> str:
 
 
 #: Display order of the canonical lanes in trace viewers.
-_LANE_ORDER = ("serving", "requests", "speculation", "enc-engine", "pcie", "gpu-compute")
+_LANE_ORDER = (
+    "cluster", "serving", "requests", "speculation", "enc-engine", "pcie", "gpu-compute"
+)
 
 
 def _lane_sort_index(lane: str) -> int:
@@ -63,6 +67,7 @@ _EVENT_LANES = {
     SpeculationEvent: "speculation",
     IvEvent: "iv-stream",
     FaultEvent: "faults",
+    ClusterEvent: "cluster",
 }
 
 #: µs per simulated second (Chrome trace timestamps are microseconds).
@@ -138,6 +143,8 @@ def chrome_trace(hubs: Iterable[TelemetryHub]) -> Dict[str, Any]:
 
 
 def _event_title(event) -> str:
+    if isinstance(event, ClusterEvent):
+        return event.action
     if isinstance(event, SpeculationEvent):
         return event.reason or event.action
     if isinstance(event, IvEvent):

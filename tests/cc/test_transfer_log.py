@@ -1,0 +1,71 @@
+"""TransferLog ring buffer: bounded history with exact whole-run stats."""
+
+import pytest
+
+from repro.cc import CcMode, CudaContext, Machine, TransferLog
+from repro.hw import MB, MemoryChunk
+
+
+class TestTransferLog:
+    def test_bounded_at_cap(self):
+        log = TransferLog(cap=4)
+        for i in range(10):
+            log.append(i)
+        assert len(log) == 4
+        assert list(log) == [6, 7, 8, 9]
+
+    def test_stats_exact_at_boundary(self):
+        log = TransferLog(cap=4)
+        for i in range(4):
+            log.append(i)
+        assert (log.total, log.dropped) == (4, 0)
+        log.append(4)  # first eviction
+        assert (log.total, log.dropped) == (5, 1)
+        for i in range(5, 10):
+            log.append(i)
+        assert (log.total, log.dropped) == (10, 6)
+
+    def test_indexing_and_slicing(self):
+        log = TransferLog(cap=3)
+        for i in range(5):
+            log.append(i)
+        assert log[0] == 2
+        assert log[-1] == 4
+        assert log[1:] == [3, 4]
+
+    def test_unbounded_mode(self):
+        log = TransferLog(cap=None)
+        for i in range(100):
+            log.append(i)
+        assert len(log) == 100
+        assert log.dropped == 0
+
+    def test_empty_is_falsy(self):
+        log = TransferLog(cap=4)
+        assert not log
+        log.append(1)
+        assert log
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            TransferLog(cap=0)
+
+
+class TestRuntimeTraceCap:
+    def test_runtime_trace_is_bounded(self):
+        machine = Machine(CcMode.DISABLED)
+        runtime = CudaContext(machine, trace_cap=3)
+        region = machine.host_memory.allocate(MB, "data", b"\x05" * 8)
+        for _ in range(5):
+            runtime.memcpy_h2d(machine.host_memory.chunk_at(region.addr))
+        machine.sim.run()
+        assert len(runtime.trace) == 3
+        assert runtime.trace.total == 5
+        assert runtime.trace.dropped == 2
+        # Retained records are the most recent ones.
+        assert all(r.direction == "h2d" for r in runtime.trace)
+
+    def test_default_cap_present(self):
+        machine = Machine(CcMode.DISABLED)
+        runtime = CudaContext(machine)
+        assert runtime.trace.cap is not None

@@ -1,0 +1,116 @@
+"""Crash/failover tests, including the crypto invariants the issue
+pins down: strictly monotone per-key IVs across a crash +
+re-handshake, and rejection of replayed pre-crash ciphertext on the
+post-failover session."""
+
+import pytest
+
+from repro.cluster import Cluster, TenantChannel
+from repro.core import ClusterConfig
+from repro.crypto import AuthenticationError
+
+
+def failover_run(recover_after=2.0, rate=6.0, duration=8.0):
+    config = ClusterConfig(
+        replicas=2, policy="least-loaded",
+        fail_at=2.0, fail_replica=0, recover_after=recover_after,
+    )
+    cluster = Cluster(config)
+    result = cluster.run(cluster.workload(rate=rate, duration=duration,
+                                          tenants=4))
+    return cluster, result
+
+
+class TestFailover:
+    def test_crash_migrates_in_flight_requests(self):
+        cluster, result = failover_run()
+        assert result.crashes == 1
+        assert result.failovers > 0
+        assert result.unfinished == 0
+        assert result.completed + result.shed == result.offered
+        # A failed-over request carries its full replica history.
+        moved = [
+            c for c in cluster.gateway.completed
+            if len(c.replica_history) > 1
+        ]
+        assert moved
+        assert all(c.attempts > 1 for c in moved)
+
+    def test_zero_tag_failures_across_migration(self):
+        _, result = failover_run()
+        assert result.auth_failures == 0
+
+    def test_recovered_replica_serves_again(self):
+        cluster, result = failover_run(recover_after=1.0, duration=10.0)
+        replica = cluster.replicas[0]
+        assert replica.alive
+        assert replica.epoch == 2
+        # The new incarnation actually took traffic after rejoining.
+        assert replica.completed > 0 or replica.outstanding == 0
+
+    def test_replica_stays_down_without_recovery(self):
+        cluster, result = failover_run(recover_after=0.0)
+        assert not cluster.replicas[0].alive
+        assert result.unfinished == 0
+
+    def test_epoch_keys_all_distinct(self):
+        cluster, result = failover_run()
+        # Every (tenant, replica, epoch) channel derived its own key:
+        # lanes = 2 directions per channel, never fewer.
+        channels = cluster.gateway._channels
+        keys = {channel.key for channel in channels.values()}
+        assert len(keys) == len(channels)
+        assert result.iv_lanes == 2 * len(channels)
+
+    def test_post_crash_handshake_is_fresh(self):
+        cluster, _ = failover_run(recover_after=1.0, duration=10.0)
+        by_epoch = {}
+        for (tenant, replica_id, epoch), channel in cluster.gateway._channels.items():
+            if replica_id == 0:
+                by_epoch.setdefault(epoch, []).append(channel)
+        if len(by_epoch) > 1:  # same replica, pre- and post-crash epochs
+            keys_e1 = {c.key for c in by_epoch[1]}
+            keys_e2 = {c.key for c in by_epoch[2]}
+            assert not keys_e1 & keys_e2
+
+
+class TestFailoverCryptoInvariants:
+    def test_iv_monotone_per_key_across_crash(self):
+        """The cluster-wide audit saw every tenant-session IV of a
+        crash/recover run and none ever repeated or regressed."""
+        cluster, result = failover_run()
+        assert result.failovers > 0  # the invariant was actually exercised
+        assert result.iv_observed > 0
+        audit = cluster.audit
+        # The audit raises IvReuseError inline; reaching here means
+        # every lane stayed strictly monotone. Cross-check the ledger.
+        assert audit.observed >= 2 * result.completed
+        assert all(iv >= 0 for iv in audit._last.values())
+
+    def test_replayed_pre_crash_ciphertext_rejected(self):
+        """Ciphertext captured before a crash must not authenticate on
+        the re-handshaken session (fresh key ⇒ GCM tag mismatch)."""
+        pre_crash = TenantChannel("tenant-0", 0, 1)
+        captured = pre_crash.send_request(b"pre-crash prompt")
+        assert pre_crash.recv_request(captured) == b"pre-crash prompt"
+
+        post_crash = TenantChannel("tenant-0", 0, 2)
+        assert post_crash.key != pre_crash.key
+        with pytest.raises(AuthenticationError):
+            post_crash.recv_request(captured)
+
+    def test_replay_into_live_failover_session(self):
+        """Same attack inside a real cluster run: capture the first
+        request ciphertext of a pre-crash session and replay it into
+        the corresponding post-recovery session."""
+        cluster, _ = failover_run(recover_after=1.0, duration=10.0)
+        channels = cluster.gateway._channels
+        pre = {t: c for (t, rid, e), c in channels.items() if rid == 0 and e == 1}
+        post = {t: c for (t, rid, e), c in channels.items() if rid == 0 and e == 2}
+        shared = set(pre) & set(post)
+        if not shared:
+            pytest.skip("no tenant used replica 0 in both epochs this seed")
+        tenant = sorted(shared)[0]
+        captured = pre[tenant].send_request(b"captured!")
+        with pytest.raises(AuthenticationError):
+            post[tenant].recv_request(captured)

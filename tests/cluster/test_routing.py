@@ -1,0 +1,100 @@
+"""Routing policy unit tests (stub replicas, no simulator)."""
+
+import pytest
+
+from repro.cluster import (
+    AffinityPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+
+
+class StubReplica:
+    def __init__(self, replica_id, outstanding=0, alive=True):
+        self.replica_id = replica_id
+        self.outstanding = outstanding
+        self.alive = alive
+
+
+class TestRoundRobin:
+    def test_cycles_over_replicas(self):
+        policy = RoundRobinPolicy()
+        fleet = [StubReplica(i) for i in range(3)]
+        picks = [policy.choose("t", fleet).replica_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_empty_fleet(self):
+        assert RoundRobinPolicy().choose("t", []) is None
+
+    def test_survivors_keep_rotating(self):
+        policy = RoundRobinPolicy()
+        fleet = [StubReplica(0), StubReplica(2)]  # replica 1 died
+        picks = [policy.choose("t", fleet).replica_id for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_outstanding(self):
+        policy = LeastLoadedPolicy()
+        fleet = [StubReplica(0, 5), StubReplica(1, 2), StubReplica(2, 7)]
+        assert policy.choose("t", fleet).replica_id == 1
+
+    def test_tie_breaks_by_id(self):
+        policy = LeastLoadedPolicy()
+        fleet = [StubReplica(2, 3), StubReplica(0, 3)]
+        assert policy.choose("t", fleet).replica_id == 0
+
+
+class TestAffinity:
+    def test_deterministic_per_tenant(self):
+        policy = AffinityPolicy()
+        fleet = [StubReplica(i) for i in range(4)]
+        first = policy.choose("tenant-a", fleet).replica_id
+        for _ in range(5):
+            assert policy.choose("tenant-a", fleet).replica_id == first
+
+    def test_tenants_spread_over_fleet(self):
+        policy = AffinityPolicy()
+        fleet = [StubReplica(i) for i in range(4)]
+        homes = {
+            policy.choose(f"tenant-{i}", fleet).replica_id for i in range(32)
+        }
+        assert len(homes) >= 3  # rendezvous hashing spreads tenants
+
+    def test_minimal_remap_on_crash(self):
+        policy = AffinityPolicy()
+        fleet = [StubReplica(i) for i in range(4)]
+        before = {
+            t: policy.choose(t, fleet).replica_id
+            for t in (f"tenant-{i}" for i in range(16))
+        }
+        dead = before["tenant-0"]
+        survivors = [r for r in fleet if r.replica_id != dead]
+        moved = [
+            t for t, home in before.items()
+            if home != dead and policy.choose(t, survivors).replica_id != home
+        ]
+        assert moved == []  # only the dead replica's tenants re-map
+
+    def test_overload_falls_back_to_least_loaded(self):
+        policy = AffinityPolicy()
+        fleet = [StubReplica(i) for i in range(3)]
+        preferred = policy.choose("tenant-x", fleet).replica_id
+        for replica in fleet:
+            if replica.replica_id == preferred:
+                replica.outstanding = policy.overload_slack + 1
+        fallback = policy.choose("tenant-x", fleet)
+        assert fallback.replica_id != preferred
+        assert fallback.outstanding == 0
+
+
+class TestRegistry:
+    def test_make_policy(self):
+        assert isinstance(make_policy("round-robin"), RoundRobinPolicy)
+        assert isinstance(make_policy("least-loaded"), LeastLoadedPolicy)
+        assert isinstance(make_policy("affinity"), AffinityPolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            make_policy("random")

@@ -45,3 +45,10 @@ class TestExamples:
         load_example("offload_flexgen_opt66b").main()
         out = capsys.readouterr().out
         assert "prediction success rate" in out
+
+    def test_cluster_serving_example(self, capsys):
+        load_example("cluster_serving").main()
+        out = capsys.readouterr().out
+        assert "Crash and failover" in out
+        assert "0 tag failures" in out
+        assert "AUTH FAILURE" not in out
