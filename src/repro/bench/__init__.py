@@ -22,6 +22,7 @@ from .experiments import (
     run_peft,
     run_vllm,
 )
+from .faults import FULL_FAULT_RATES, QUICK_FAULT_RATES, fault_campaign
 from .systems import CC, SystemSpec, WITHOUT_CC, cc_threads, pipellm, pipellm_zero
 from .claims import CLAIMS, Claim, ClaimOutcome, verify_claims
 from .cluster import cluster_scaling
@@ -40,6 +41,9 @@ __all__ = [
     "ClaimOutcome",
     "verify_claims",
     "cluster_scaling",
+    "fault_campaign",
+    "FULL_FAULT_RATES",
+    "QUICK_FAULT_RATES",
     "ExperimentResult",
     "FULL",
     "QUICK",

@@ -43,12 +43,15 @@ class SystemSpec:
     def uses_pipellm(self) -> bool:
         return self.pipellm_config is not None
 
-    def build(self, params: Optional[HardwareParams] = None, sim=None) -> Tuple[Machine, DeviceRuntime]:
+    def build(
+        self, params: Optional[HardwareParams] = None, sim=None, faults=None
+    ) -> Tuple[Machine, DeviceRuntime]:
         """Instantiate a fresh machine plus its runtime.
 
         ``sim`` embeds the machine in an existing simulator (cluster
         replicas share one kernel); None keeps the historical
-        one-machine-one-simulator behaviour.
+        one-machine-one-simulator behaviour. ``faults`` threads a
+        :class:`repro.faults.FaultInjector` through the machine.
         """
         machine = Machine(
             self.cc_mode,
@@ -56,6 +59,7 @@ class SystemSpec:
             enc_threads=self.enc_threads,
             dec_threads=self.dec_threads,
             sim=sim,
+            faults=faults,
         )
         # Telemetry traces group machines by system name (e.g. one
         # Perfetto process per "PipeLLM" / "CC" instance).

@@ -51,6 +51,7 @@ class Machine:
         key: bytes = _DEFAULT_KEY,
         session: Optional[SecureSession] = None,
         sim: Optional[Simulator] = None,
+        faults=None,
     ) -> None:
         self.params = params or default_params()
         self.cc_mode = cc_mode
@@ -75,12 +76,21 @@ class Machine:
         trace_session = active_session()
         if trace_session is not None:
             trace_session.register(self.telemetry)
+        #: Optional :class:`repro.faults.FaultInjector`. Binding gives
+        #: the injector this machine's clock and hub; the hardware
+        #: models below consult it at their injection points and the
+        #: PipeLLM runtime picks it up from here for the crypto-plane
+        #: faults (tag corruption, IV desync, forced mispredictions).
+        self.faults = faults
+        if faults is not None:
+            faults.bind(self.sim, self.telemetry)
         self.host_memory = HostMemory(
             capacity=self.params.host_memory_bytes, page_size=self.params.page_size
         )
-        self.pcie = PcieLink(self.sim, self.params)
+        self.pcie = PcieLink(self.sim, self.params, faults=faults)
         self.engine = CryptoEngine(
-            self.sim, self.params, enc_threads=enc_threads, dec_threads=dec_threads
+            self.sim, self.params, enc_threads=enc_threads, dec_threads=dec_threads,
+            faults=faults,
         )
         self.staging = DmaStaging(self.sim)
 
@@ -105,6 +115,7 @@ def build_machine(
     params: Optional[HardwareParams] = None,
     enc_threads: int = 1,
     dec_threads: int = 1,
+    faults=None,
 ) -> Machine:
     """Convenience factory mirroring the paper's three configurations.
 
@@ -115,7 +126,8 @@ def build_machine(
     * PipeLLM runs on an ENABLED machine via
       :class:`repro.core.runtime.PipeLLMRuntime`.
     """
-    return Machine(cc_mode, params=params, enc_threads=enc_threads, dec_threads=dec_threads)
+    return Machine(cc_mode, params=params, enc_threads=enc_threads,
+                   dec_threads=dec_threads, faults=faults)
 
 
 def build_attested_machine(
@@ -126,6 +138,7 @@ def build_attested_machine(
     host_seed: bytes = b"cvm-driver-seed",
     device_seed: bytes = b"h100-device-seed",
     sim: Optional[Simulator] = None,
+    faults=None,
 ) -> Machine:
     """Full CC bring-up: handshake, attestation, then the machine.
 
@@ -154,4 +167,5 @@ def build_attested_machine(
         dec_threads=dec_threads,
         session=session,
         sim=sim,
+        faults=faults,
     )

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional
 from .bench import (
     ablation_async_decrypt,
     cluster_scaling,
+    fault_campaign,
     verify_claims,
     extension_layerwise_fifo,
     extension_zero_offload,
@@ -68,6 +69,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext-layerwise": extension_layerwise_fifo,
     "ext-zero": extension_zero_offload,
     "cluster": cluster_scaling,
+    "faults": fault_campaign,
 }
 
 _SYSTEMS_HELP = """\
@@ -127,6 +129,16 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=None, metavar="N")
     cluster.add_argument("--json", action="store_true",
                          help="emit the run summary as JSON")
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection campaign: degradation table across storm rates",
+    )
+    faults.add_argument("--scale", choices=("quick", "full"), default="quick")
+    faults.add_argument("--json", action="store_true",
+                        help="emit the result rows as JSON")
+    faults.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="override the fault and workload RNG seeds")
 
     trace = sub.add_parser(
         "trace", help="run one experiment with telemetry on and export the trace"
@@ -275,6 +287,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         for name in EXPERIMENTS:
             _run_one(name, args.scale, out)
             print(file=out)
+        return 0
+    if args.command == "faults":
+        _run_one("faults", args.scale, out, as_json=args.json)
         return 0
     if args.command == "trace":
         return _run_trace(args, out)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core import ClusterConfig
+from ..faults import FaultInjector
 from ..hw import HardwareParams
 from ..models import OPT_13B, ModelSpec
 from ..sim import SeededRng, Simulator, default_seed, mean, percentile
@@ -132,6 +133,14 @@ class Cluster:
         self.spec = spec
         self.sim = Simulator()
         self.audit = ClusterIvAudit()
+        #: Fleet-level injector (None without a plan). Each replica
+        #: machine gets its own deterministic child; the parent paces
+        #: the random crash schedule.
+        self.faults: Optional[FaultInjector] = None
+        if config.fault_plan is not None:
+            self.faults = FaultInjector(
+                config.fault_plan, seed=default_seed(config.seed)
+            ).bind(self.sim)
         self.replicas = [
             Replica(
                 self.sim,
@@ -141,6 +150,7 @@ class Cluster:
                 block_size=config.block_size,
                 reserve_bytes=config.reserve_bytes,
                 params=params,
+                faults=None if self.faults is None else self.faults.child(f"r{i}"),
             )
             for i in range(config.replicas)
         ]
@@ -190,6 +200,14 @@ class Cluster:
         self.sim.process(self._arrivals(sorted(requests, key=lambda c: c.submit_time)))
         if self.config.fail_at is not None:
             self.sim.process(self._fault())
+        plan = self.config.fault_plan
+        if self.faults is not None and plan is not None and plan.replica_crash_rate > 0:
+            # Bound the crash schedule so the simulator can drain: the
+            # plan's window if set, else the arrival span.
+            horizon = plan.stop
+            if horizon is None:
+                horizon = max((c.submit_time for c in requests), default=0.0)
+            self.sim.process(self._fault_plane(horizon))
         self.sim.run(until=until)
         return self._result(requests)
 
@@ -208,6 +226,33 @@ class Cluster:
         if config.recover_after > 0:
             yield self.sim.timeout(config.recover_after)
             self.gateway.recover(config.fail_replica)
+
+    def _fault_plane(self, horizon: float):
+        """Random replica crashes: exponential inter-arrivals from the
+        fleet injector's cluster stream, each followed by an attested
+        recovery after the plan's delay. Stops pacing at ``horizon``."""
+        inj = self.faults
+        plan = self.config.fault_plan
+        while True:
+            interval = inj.next_crash_interval()
+            if interval is None or self.sim.now + interval > horizon:
+                return
+            yield self.sim.timeout(interval)
+            if not plan.active(self.sim.now):
+                continue
+            victim = inj.pick_replica(len(self.replicas))
+            if not self.replicas[victim].alive:
+                continue
+            inj.record_crash(victim)
+            self.gateway.fail(victim)
+            if plan.replica_recover_after > 0:
+                self.sim.process(
+                    self._recover_later(victim, plan.replica_recover_after)
+                )
+
+    def _recover_later(self, victim: int, delay: float):
+        yield self.sim.timeout(delay)
+        self.gateway.recover(victim)
 
     def _result(self, requests: List[ClusterRequest]) -> ClusterResult:
         gateway = self.gateway

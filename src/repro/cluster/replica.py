@@ -109,6 +109,7 @@ class Replica:
         block_size: int = 16,
         reserve_bytes: int = 4 << 30,
         params: Optional[HardwareParams] = None,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.replica_id = replica_id
@@ -117,6 +118,10 @@ class Replica:
         self.block_size = block_size
         self.reserve_bytes = reserve_bytes
         self.params = params or default_params()
+        #: Optional :class:`repro.faults.FaultInjector`, shared across
+        #: incarnations (each boot rebinds it to the fresh machine, so
+        #: the fault streams continue deterministically over crashes).
+        self.faults = faults
         self.cost = TransformerCostModel(spec)
         self.geometry = KvGeometry(spec, block_size=block_size)
 
@@ -146,7 +151,9 @@ class Replica:
         self.epoch += 1
         suffix = f"r{self.replica_id}.e{self.epoch}".encode()
         if self.system == "native":
-            self.machine = Machine(CcMode.DISABLED, params=self.params, sim=self.sim)
+            self.machine = Machine(
+                CcMode.DISABLED, params=self.params, sim=self.sim, faults=self.faults
+            )
             self.runtime = CudaContext(self.machine)
         else:
             # Full CC bring-up per incarnation: the handshake-derived
@@ -158,6 +165,7 @@ class Replica:
                 device_id=f"gpu-{self.replica_id}",
                 host_seed=b"cvm:" + suffix,
                 device_seed=b"dev:" + suffix,
+                faults=self.faults,
             )
             if self.system == "pipellm":
                 self.runtime = PipeLLMRuntime(self.machine)

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..faults.plan import FaultPlan
+from ..faults.policies import FaultPolicy
 from .classify import DEFAULT_SWAP_THRESHOLD
 
 __all__ = ["ClusterConfig", "PipeLLMConfig"]
@@ -54,6 +56,10 @@ class PipeLLMConfig:
     sabotage: Optional[str] = None
     #: CPU overhead of the validation fast path per request (s).
     validation_overhead: float = 1.0e-6
+    #: How the runtime survives faults: retry/backoff for recovery
+    #: re-encryptions, optional per-request timeout, and the
+    #: degradation-controller thresholds. ``None`` uses the defaults.
+    fault_policy: Optional[FaultPolicy] = None
 
     def __post_init__(self) -> None:
         if self.depth < 1:
@@ -110,6 +116,12 @@ class ClusterConfig:
     recover_after: float = 10.0
     #: Workload / payload seed (the CLI ``--seed`` overrides it).
     seed: int = 42
+    #: Optional fault plan threaded through every replica machine
+    #: (PCIe/engine/crypto faults via per-replica forked injectors)
+    #: and driving the random replica-crash schedule
+    #: (``replica_crash_rate``). ``fail_at`` above remains the legacy
+    #: one-shot crash and composes with the plan.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:

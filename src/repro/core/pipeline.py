@@ -257,6 +257,11 @@ class SpeculationPipeline:
         self._gc()
         return killed
 
+    def invalidate_entry(self, entry: StagedEntry, reason: str) -> None:
+        """Kill one specific staged entry (injected mispredictions)."""
+        if entry.valid:
+            self._kill(entry, reason)
+
     def pop(self, entry: StagedEntry) -> None:
         """Remove a committed entry (its ciphertext went to the wire)."""
         self.machine.host_memory.unprotect(entry.owner)

@@ -26,9 +26,11 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cc.api import D2H, DEFAULT_TRACE_CAP, H2D, DeviceRuntime, TransferHandle
 from ..cc.machine import Machine
+from ..crypto import AuthenticationError, EncryptedMessage, tamper_tag
+from ..faults.policies import DegradationController, FaultPolicy, PipelineMode
 from ..hw.memory import MemoryChunk, PageFault
 from ..sim import Event
-from ..telemetry import FaultEvent, IvEvent, SpeculationEvent
+from ..telemetry import FaultEvent, IvEvent, RecoveryEvent, SpeculationEvent
 from ..telemetry.hub import RequestRecord
 from .classify import TransferClassifier
 from .config import PipeLLMConfig
@@ -76,7 +78,18 @@ class PipeLLMRuntime(DeviceRuntime):
         self.classifier = TransferClassifier(swap_threshold=self.config.swap_threshold)
         self.predictor = SwapPredictor(self.classifier, sabotage=self.config.sabotage)
         self.pipeline = SpeculationPipeline(machine, self.config)
-        self.validator = Validator(self.pipeline)
+        #: The machine-level fault injector (None on clean runs).
+        self.faults = machine.faults
+        self.validator = Validator(self.pipeline, faults=machine.faults)
+        #: Survival policies: recovery retry budget, optional request
+        #: timeout, degradation thresholds.
+        self.fault_policy = self.config.fault_policy or FaultPolicy()
+        #: SPECULATIVE / DEGRADED / PROBING state machine (§5.3's
+        #: relinquish generalized into a closed control loop).
+        self.fault_controller = DegradationController(
+            self.fault_policy, clock=lambda: self.sim.now
+        )
+        self.fault_controller.on_transition(self._on_mode_change)
         machine.host_memory.on_fault(self._on_fault)
         machine.host_memory.on_free(self._on_free)
 
@@ -108,6 +121,10 @@ class PipeLLMRuntime(DeviceRuntime):
         self._sync_decrypts = metrics.counter("runtime.sync_decrypts")
         self._async_decrypts = metrics.counter("runtime.async_decrypts")
         self._deferred_total = metrics.counter("runtime.deferred")
+        self._auth_recoveries = metrics.counter("runtime.auth_recoveries")
+        self._timeouts = metrics.counter("runtime.timeouts")
+        self._mode_switches = metrics.counter("runtime.mode_switches")
+        self._degraded_commits = metrics.counter("runtime.degraded_commits")
 
     @property
     def nops_sent(self) -> int:
@@ -132,6 +149,22 @@ class PipeLLMRuntime(DeviceRuntime):
     @property
     def deferred_total(self) -> int:
         return self._deferred_total.value
+
+    @property
+    def auth_recoveries(self) -> int:
+        return self._auth_recoveries.value
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.value
+
+    @property
+    def mode_switches(self) -> int:
+        return self._mode_switches.value
+
+    @property
+    def degraded_commits(self) -> int:
+        return self._degraded_commits.value
 
     # -- model hints (§4.2: "We assume LLM models are known") ----------------
 
@@ -166,8 +199,38 @@ class PipeLLMRuntime(DeviceRuntime):
 
         self.predictor.observe_swap_in(chunk.addr, chunk.size)
         self._note_swap_arrival()
+        if self.faults is not None and self.faults.desync_iv():
+            self._inject_desync()
+        self.fault_controller.poll()
+        if not self.fault_controller.speculation_enabled:
+            # Degraded mode (§5.3 escalated): non-speculative in-order
+            # encryption — immune to mispredictions by construction.
+            # The predictor keeps observing so speculation can resume
+            # warm once the controller probes its way back.
+            self._degraded_commits.add()
+            if record is not None:
+                record.kind = "swap"
+                record.outcome = "degraded"
+            self._commit_ondemand(handle, chunk, parallel=True, blocking_api=True,
+                                  record=record)
+            if record is not None:
+                record.strategy = "degraded"
+            self._watch_request(handle, record)
+            return handle
         current = self.machine.cpu_endpoint.tx_iv.current
         validation = self.validator.validate(chunk.addr, chunk.size, current)
+        # Controller evidence, sampled now but fed only after the
+        # commit below — an observation can flip the mode, and the
+        # transition's relinquish must not kill the entry mid-commit.
+        # A miss against a live pipeline (or a forced kill) is real
+        # evidence the speculation is wrong; cold-start misses with
+        # nothing staged are not.
+        if validation.usable:
+            evidence: Optional[bool] = True
+        elif validation.injected or self.pipeline.valid_entries:
+            evidence = False
+        else:
+            evidence = None
         if record is not None:
             record.kind = "swap"
             swap_class = self.classifier.swap_class(chunk.size)
@@ -219,6 +282,9 @@ class PipeLLMRuntime(DeviceRuntime):
             self._commit_ondemand(handle, chunk, parallel=True, blocking_api=True,
                                   record=record)
 
+        if evidence is not None:
+            self.fault_controller.observe(evidence)
+        self._watch_request(handle, record)
         self._refresh_pipeline()
         return handle
 
@@ -227,7 +293,8 @@ class PipeLLMRuntime(DeviceRuntime):
         killed = self.pipeline.drop_stale(self.machine.cpu_endpoint.tx_iv.current)
         if killed:
             self._bump_leeway()
-        self.pipeline.refill(self.predictor, self._leeway())
+        if self.fault_controller.speculation_enabled:
+            self.pipeline.refill(self.predictor, self._leeway())
 
     def _bump_leeway(self) -> None:
         """An entry died of IV staleness: the leeway was too small.
@@ -289,7 +356,7 @@ class PipeLLMRuntime(DeviceRuntime):
         else:
             self.sim.process(self._timed_d2h_sync(handle, chunk, plaintext))
 
-        if is_swap:
+        if is_swap and self.fault_controller.speculation_enabled:
             self.pipeline.refill(self.predictor, self._leeway())
         return handle
 
@@ -421,12 +488,16 @@ class PipeLLMRuntime(DeviceRuntime):
             self.telemetry.emit(IvEvent(self.sim.now, "cpu-tx", entry.iv, "staged"))
         # Successful staged commits decay the leeway slowly back down.
         self._leeway_value = max(self._leeway_ema, 0.999 * self._leeway_value)
-        # GPU copy engine authenticates with its synchronized RX IV:
-        # this raising AuthenticationError would mean our IV logic is wrong.
-        self.machine.gpu.receive_ciphertext(entry.chunk, entry.message)
+        # GPU copy engine authenticates with its synchronized RX IV.
+        # Absent injected faults a failure here would mean our IV logic
+        # is wrong; with them, recovery re-encrypts under fresh IVs.
+        extra = self._deliver_ciphertext(entry.chunk, entry.message, record)
+        enc_ready: Event = entry.ready
+        if extra:
+            enc_ready = self.sim.all_of([entry.ready, *extra])
         prev, mine = self._advance_chain()
         self.sim.process(
-            self._timed_h2d(handle, entry.chunk.size, entry.ready, prev, mine, staged=True)
+            self._timed_h2d(handle, entry.chunk.size, enc_ready, prev, mine, staged=True)
         )
 
     def _commit_ondemand(
@@ -443,7 +514,7 @@ class PipeLLMRuntime(DeviceRuntime):
         # (refresh restages it) but it is a miss-cascade symptom, not
         # evidence the leeway is too small — no controller bump.
         self.pipeline.on_iv_consumed(message.sender_iv)
-        self.machine.gpu.receive_ciphertext(chunk, message)
+        extra = self._deliver_ciphertext(chunk, message, record)
         if record is not None:
             record.strategy = "ondemand" if parallel else "inline"
             record.commit_iv = message.sender_iv
@@ -458,6 +529,8 @@ class PipeLLMRuntime(DeviceRuntime):
             )
         else:
             enc_ready = self.machine.engine.submit_encrypt_inline_cc(chunk.size)
+        if extra:
+            enc_ready = self.sim.all_of([enc_ready, *extra])
         prev, mine = self._advance_chain()
         self.sim.process(
             self._timed_h2d(
@@ -476,7 +549,15 @@ class PipeLLMRuntime(DeviceRuntime):
         while endpoint.tx_iv.current < target_iv:
             message = endpoint.encrypt_next(b"\x00", nbytes_logical=self.params.nop_bytes)
             self.pipeline.on_iv_consumed(message.sender_iv)
-            self.machine.gpu.endpoint.decrypt_next(message)
+            try:
+                self.machine.gpu.endpoint.decrypt_next(message)
+            except AuthenticationError:
+                # The streams were desynchronized before this pad; both
+                # counters advanced on the failed attempt, so aligning
+                # RX onto TX (forward-only — no IV can repeat) restores
+                # lock-step. A NOP carries no payload worth resending.
+                self.machine.gpu.endpoint.rx_iv.advance_to(endpoint.tx_iv.current)
+                self._note_recovery("resync", detail="nop")
             prev, mine = self._advance_chain()
             self.sim.process(self._timed_nop(prev, mine))
             self._nops_sent.add()
@@ -532,7 +613,8 @@ class PipeLLMRuntime(DeviceRuntime):
             chunk.size, ways=self.config.enc_ways, front=True
         )
         self._land_decrypt(pending, synchronous=False)
-        self.pipeline.refill(self.predictor, self._leeway())
+        if self.fault_controller.speculation_enabled:
+            self.pipeline.refill(self.predictor, self._leeway())
 
     def _timed_d2h_sync(self, handle: TransferHandle, chunk: MemoryChunk, plaintext: bytes):
         yield self.sim.timeout(self.params.cc_control_latency)
@@ -541,6 +623,122 @@ class PipeLLMRuntime(DeviceRuntime):
         self.machine.host_memory.write_silent(chunk.addr, plaintext)
         handle.api_done.succeed()
         handle.complete.succeed()
+
+    # -- fault plane: recovery, degradation, timeout (ISSUE 3 tentpole) -------------
+
+    def _deliver_ciphertext(
+        self,
+        chunk: MemoryChunk,
+        message: EncryptedMessage,
+        record: Optional[RequestRecord] = None,
+    ) -> List[Event]:
+        """Deliver one ciphertext to the GPU copy engine, surviving
+        injected tag corruption and IV desynchronization (§4.4).
+
+        On an authentication failure both endpoints have already burned
+        the failed IVs (consume precedes decrypt on each side), so the
+        recovery is uniform for both fault kinds: align the GPU's RX
+        counter onto the CPU's TX position — forward-only, so no IV can
+        ever repeat — and re-encrypt the chunk under a fresh IV.
+        Retries are bounded by the retry policy; each one contributes
+        an extra timing event (urgent re-encryption + backoff delay)
+        that the caller chains into the transfer's readiness.
+        """
+        gpu = self.machine.gpu
+        endpoint = self.machine.cpu_endpoint
+        inj = self.faults
+        policy = self.fault_policy.retry
+        extra: List[Event] = []
+        attempt = 0
+        while True:
+            attempt += 1
+            wire = message
+            # The last attempt within budget skips injection so the
+            # recovery is guaranteed to land — the plan models
+            # transient corruption, not a severed channel.
+            if inj is not None and attempt < policy.max_attempts and inj.corrupt_tag():
+                wire = tamper_tag(message)
+            try:
+                gpu.receive_ciphertext(chunk, wire)
+            except AuthenticationError:
+                if attempt >= policy.max_attempts:
+                    raise  # Genuine corruption: out of retry budget.
+                gpu.endpoint.rx_iv.advance_to(endpoint.tx_iv.current)
+                message = endpoint.encrypt_next(chunk.payload, nbytes_logical=chunk.size)
+                self.pipeline.on_iv_consumed(message.sender_iv)
+                extra.append(self.machine.engine.submit_encrypt_parallel(
+                    chunk.size, ways=self.config.enc_ways, urgent=True
+                ))
+                extra.append(self.sim.timeout(policy.delay(attempt)))
+                continue
+            if attempt > 1:
+                self._auth_recoveries.add()
+                self._note_recovery(
+                    "auth-recover", attempt,
+                    request_id=record.request_id if record is not None else -1,
+                )
+                self.fault_controller.observe(False)
+            return extra
+
+    def _inject_desync(self) -> None:
+        """Burn one TX IV without a wire message (injected desync).
+
+        The CPU's counter silently runs ahead of the GPU's; every
+        subsequent delivery auth-fails until a recovery resyncs the
+        streams. The burned IV is never reused, so the audit invariant
+        holds throughout.
+        """
+        endpoint = self.machine.cpu_endpoint
+        iv = endpoint.tx_iv.consume()
+        self.pipeline.on_iv_consumed(iv)
+        if self.telemetry.enabled:
+            self.telemetry.emit(IvEvent(self.sim.now, "cpu-tx", iv, "desync-burn"))
+
+    def _on_mode_change(self, previous: PipelineMode, mode: PipelineMode) -> None:
+        self._mode_switches.add()
+        action = {
+            PipelineMode.DEGRADED: "degrade",
+            PipelineMode.PROBING: "probe",
+            PipelineMode.SPECULATIVE: "restore",
+        }[mode]
+        self._note_recovery(action, detail=f"{previous.value}->{mode.value}")
+        if mode is PipelineMode.DEGRADED:
+            # Staged ciphertext would only rot while the predictor is
+            # wrong — drop it all (suspended requests keep theirs).
+            self.pipeline.relinquish()
+
+    def _note_recovery(
+        self, action: str, attempts: int = 0, detail: str = "", request_id: int = -1
+    ) -> None:
+        if self.faults is not None:
+            self.faults.note_recovery(action, attempts, detail, request_id)
+            return
+        self.telemetry.metrics.counter(f"faults.recovery.{action}").add()
+        if self.telemetry.enabled:
+            self.telemetry.emit(RecoveryEvent(
+                self.sim.now, action, attempts, detail, request_id
+            ))
+
+    def _watch_request(self, handle: TransferHandle, record: Optional[RequestRecord]) -> None:
+        """Arm the per-request timeout watchdog (off unless configured:
+        lingering timers extend the drained simulation clock, which
+        would skew elapsed-time claims on clean benches)."""
+        if self.fault_policy.request_timeout_s is not None:
+            self.sim.process(self._watch_timeout(handle, record))
+
+    def _watch_timeout(self, handle: TransferHandle, record: Optional[RequestRecord]):
+        yield self.sim.timeout(self.fault_policy.request_timeout_s)
+        if handle.complete.triggered:
+            return
+        self._timeouts.add()
+        self._note_recovery(
+            "timeout", detail=handle.direction,
+            request_id=record.request_id if record is not None else -1,
+        )
+        # The commonest stall is a suspended request whose batch
+        # boundary never came: resolve the deferred set now.
+        self._resolve_deferred()
+        self.fault_controller.observe(False)
 
     # -- leeway adaptation & misc ------------------------------------------------------
 
@@ -585,6 +783,11 @@ class PipeLLMRuntime(DeviceRuntime):
             "relinquishes": float(self.pipeline.relinquish_count),
             "evicted": float(self.pipeline.evicted),
             "gpu_auth_failures": float(self.machine.gpu.auth_failures),
+            "auth_recoveries": float(self.auth_recoveries),
+            "timeouts": float(self.timeouts),
+            "mode_switches": float(self.mode_switches),
+            "degraded_commits": float(self._degraded_commits.value),
+            "degraded_seconds": self.fault_controller.degraded_seconds(),
         }
 
 

@@ -40,6 +40,10 @@ class ValidationOutcome(enum.Enum):
 class Validation:
     outcome: ValidationOutcome
     entry: Optional[StagedEntry]
+    #: True when the fault plane forced this outcome (injected
+    #: misprediction) — the degradation controller counts it as hard
+    #: evidence even if the pipeline is empty afterwards.
+    injected: bool = False
 
     @property
     def usable(self) -> bool:
@@ -53,8 +57,12 @@ class Validator:
     attribute names are kept as read-only properties.
     """
 
-    def __init__(self, pipeline: SpeculationPipeline) -> None:
+    def __init__(self, pipeline: SpeculationPipeline, faults=None) -> None:
         self.pipeline = pipeline
+        #: Optional :class:`repro.faults.FaultInjector`: staged hits
+        #: can be forced into misses, modeling wrong sequence
+        #: predictions without needing a hostile workload.
+        self.faults = faults
         metrics = pipeline.machine.telemetry.metrics
         self._hits = metrics.counter("validator.hits")
         self._future_hits = metrics.counter("validator.future_hits")
@@ -80,6 +88,14 @@ class Validator:
     def validate(self, addr: int, size: int, current_iv: int) -> Validation:
         """Classify one swap-in request against the staged pipeline."""
         entry = self.pipeline.find(addr, size)
+        if (entry is not None and self.faults is not None
+                and self.faults.mispredict()):
+            # Injected misprediction: the staged ciphertext is treated
+            # as wrong — killed, and the request misses. Its predicted
+            # IV remains unconsumed, exactly like a real bad guess.
+            self.pipeline.invalidate_entry(entry, "injected-mispredict")
+            self._misses.add()
+            return Validation(ValidationOutcome.MISS, None, injected=True)
         if entry is None:
             self._misses.add()
             return Validation(ValidationOutcome.MISS, None)

@@ -11,7 +11,7 @@ from .attestation import (
 from .handshake import DhKeyPair, HandshakeMessage, SessionHandshake, hkdf
 from .gcm import AesGcm, AuthenticationError, TAG_SIZE, iv_from_counter
 from .ivstream import IvExhaustedError, IvStream
-from .session import EncryptedMessage, SecureSession, SessionEndpoint
+from .session import EncryptedMessage, SecureSession, SessionEndpoint, tamper_tag
 
 __all__ = [
     "AES",
@@ -32,6 +32,7 @@ __all__ = [
     "IvStream",
     "SecureSession",
     "SessionEndpoint",
+    "tamper_tag",
     "TAG_SIZE",
     "iv_from_counter",
 ]

@@ -10,6 +10,8 @@ observable as a GCM authentication failure.
 
 from __future__ import annotations
 
+from typing import Callable, List, Optional
+
 from .gcm import iv_from_counter
 
 __all__ = ["IvStream", "IvExhaustedError"]
@@ -36,6 +38,11 @@ class IvStream:
         self.name = name
         self._next = start
         self.consumed = 0
+        self._consume_hooks: List[Callable[[int], None]] = []
+
+    def on_consume(self, hook: Callable[[int], None]) -> None:
+        """Observe every consumed counter value (IV audits, tests)."""
+        self._consume_hooks.append(hook)
 
     @property
     def current(self) -> int:
@@ -55,6 +62,8 @@ class IvStream:
         value = self._next
         self._next += 1
         self.consumed += 1
+        for hook in self._consume_hooks:
+            hook(value)
         return value
 
     def advance_to(self, target: int) -> int:

@@ -17,7 +17,7 @@ from typing import Tuple
 from .gcm import AesGcm, AuthenticationError, iv_from_counter
 from .ivstream import IvStream
 
-__all__ = ["SecureSession", "SessionEndpoint", "EncryptedMessage"]
+__all__ = ["SecureSession", "SessionEndpoint", "EncryptedMessage", "tamper_tag"]
 
 
 @dataclass(frozen=True)
@@ -36,14 +36,39 @@ class EncryptedMessage:
     nbytes_logical: int
 
 
+def tamper_tag(message: EncryptedMessage) -> EncryptedMessage:
+    """Flip one tag bit: the in-transit corruption the fault plane injects.
+
+    Shared memory is outside the TCB, so an attacker (or a bit flip)
+    can mutate the ciphertext or tag at will; GCM guarantees the
+    receiver notices. The flipped copy is what goes on the wire — the
+    sender's original message object is untouched.
+    """
+    tag = bytes([message.tag[0] ^ 0x01]) + message.tag[1:]
+    return EncryptedMessage(message.ciphertext, tag, message.sender_iv, message.nbytes_logical)
+
+
 class SessionEndpoint:
     """One side of the channel (the CVM, or the GPU copy engine)."""
 
     def __init__(self, name: str, key: bytes, tx_start_iv: int, rx_start_iv: int) -> None:
         self.name = name
+        self.key = bytes(key)
         self._gcm = AesGcm(key)
         self.tx_iv = IvStream(tx_start_iv, name=f"{name}.tx")
         self.rx_iv = IvStream(rx_start_iv, name=f"{name}.rx")
+
+    def attach_audit(self, audit) -> None:
+        """Report every consumed (key, stream, IV) to an IV audit.
+
+        ``audit`` needs an ``observe(key, stream, iv)`` method —
+        :class:`repro.cluster.tenant.ClusterIvAudit` fits. Consumption
+        is exactly one observation per wire message per direction, so
+        the audit proves no (key, IV) pair ever reaches the channel
+        twice.
+        """
+        self.tx_iv.on_consume(lambda iv: audit.observe(self.key, self.tx_iv.name, iv))
+        self.rx_iv.on_consume(lambda iv: audit.observe(self.key, self.rx_iv.name, iv))
 
     # -- sending -----------------------------------------------------------
 

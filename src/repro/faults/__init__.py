@@ -1,0 +1,34 @@
+"""Deterministic fault injection and the policies that survive it.
+
+The fault plane has three layers:
+
+* :class:`FaultPlan` — *what* to inject (rates, magnitudes, live
+  window); a frozen, pure-data description.
+* :class:`FaultInjector` — *whether this particular opportunity*
+  faults, drawn from per-domain seeded RNG streams so schedules are
+  replayable and decoupled across subsystems.
+* :mod:`repro.faults.policies` — *how the stack survives*: bounded
+  exponential-backoff retries (:class:`RetryPolicy`), per-request
+  timeouts, and the :class:`DegradationController` state machine that
+  trades speculation for in-order encryption during a storm.
+
+Wire a plan through a whole machine with::
+
+    injector = FaultInjector(FaultPlan.storm(0.3), seed=7)
+    machine = Machine(CcMode.ENABLED, faults=injector)
+
+and through a cluster via ``ClusterConfig(fault_plan=...)``.
+"""
+
+from .injector import FaultInjector
+from .plan import FaultPlan
+from .policies import DegradationController, FaultPolicy, PipelineMode, RetryPolicy
+
+__all__ = [
+    "DegradationController",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPolicy",
+    "PipelineMode",
+    "RetryPolicy",
+]

@@ -35,6 +35,7 @@ class CryptoEngine:
         params: HardwareParams,
         enc_threads: int = 1,
         dec_threads: int = 1,
+        faults=None,
     ) -> None:
         if enc_threads < 1 or dec_threads < 1:
             raise ValueError("thread counts must be >= 1")
@@ -42,10 +43,19 @@ class CryptoEngine:
         self.params = params
         self.enc_threads = enc_threads
         self.dec_threads = dec_threads
+        #: Optional :class:`repro.faults.FaultInjector`: worker stalls
+        #: and slowdowns are applied to every submission's service time.
+        self.faults = faults
         self._enc_pool = WorkerPool(sim, enc_threads, name="enc")
         self._dec_pool = WorkerPool(sim, dec_threads, name="dec")
         self.bytes_encrypted = 0
         self.bytes_decrypted = 0
+
+    def _service(self, service: float, pool: str) -> float:
+        """Nominal service time, distorted by the fault plane if any."""
+        if self.faults is None:
+            return service
+        return self.faults.engine_service_time(service, pool)
 
     # -- encryption ------------------------------------------------------
 
@@ -57,7 +67,8 @@ class CryptoEngine:
         """Queue one chunk on one encryption worker; event on completion."""
         self.bytes_encrypted += nbytes
         return self._enc_pool.submit(
-            self.params.enc_time(nbytes, threads=1), payload=nbytes, urgent=urgent
+            self._service(self.params.enc_time(nbytes, threads=1), "enc"),
+            payload=nbytes, urgent=urgent,
         )
 
     def submit_encrypt_inline_cc(self, nbytes: int) -> Event:
@@ -68,13 +79,13 @@ class CryptoEngine:
         """
         self.bytes_encrypted += nbytes
         service = self.params.cc_control_latency + nbytes / self.params.enc_bandwidth_per_thread
-        return self._enc_pool.submit(service, payload=nbytes, urgent=True)
+        return self._enc_pool.submit(self._service(service, "enc"), payload=nbytes, urgent=True)
 
     def submit_decrypt_inline_cc(self, nbytes: int) -> Event:
         """Synchronous CPU decryption with the CC baseline's cost."""
         self.bytes_decrypted += nbytes
         service = self.params.cc_control_latency + nbytes / self.params.dec_bandwidth_per_thread
-        return self._dec_pool.submit(service, payload=nbytes, urgent=True)
+        return self._dec_pool.submit(self._service(service, "dec"), payload=nbytes, urgent=True)
 
     def submit_encrypt_parallel(
         self, nbytes: int, ways: int = 0, urgent: bool = False, front: bool = False
@@ -92,7 +103,8 @@ class CryptoEngine:
         slice_bytes = nbytes / ways
         slices: List[Event] = [
             self._enc_pool.submit(
-                self.params.enc_time(int(slice_bytes), threads=1), urgent=urgent, front=front
+                self._service(self.params.enc_time(int(slice_bytes), threads=1), "enc"),
+                urgent=urgent, front=front,
             )
             for _ in range(ways)
         ]
@@ -103,7 +115,9 @@ class CryptoEngine:
     def submit_decrypt(self, nbytes: int) -> Event:
         """Queue one chunk on one decryption worker."""
         self.bytes_decrypted += nbytes
-        return self._dec_pool.submit(self.params.dec_time(nbytes, threads=1), payload=nbytes)
+        return self._dec_pool.submit(
+            self._service(self.params.dec_time(nbytes, threads=1), "dec"), payload=nbytes
+        )
 
     def submit_decrypt_parallel(
         self, nbytes: int, ways: int = 0, urgent: bool = False, front: bool = False
@@ -114,7 +128,8 @@ class CryptoEngine:
         slice_bytes = nbytes / ways
         slices: List[Event] = [
             self._dec_pool.submit(
-                self.params.dec_time(int(slice_bytes), threads=1), urgent=urgent, front=front
+                self._service(self.params.dec_time(int(slice_bytes), threads=1), "dec"),
+                urgent=urgent, front=front,
             )
             for _ in range(ways)
         ]

@@ -14,7 +14,9 @@ The observability layer every other subsystem reports through:
 from .events import (
     ClusterEvent,
     FaultEvent,
+    InjectionEvent,
     IvEvent,
+    RecoveryEvent,
     SpeculationEvent,
     TelemetryEvent,
     TransferEvent,
@@ -37,7 +39,9 @@ from .hub import (
 __all__ = [
     "ClusterEvent",
     "FaultEvent",
+    "InjectionEvent",
     "IvEvent",
+    "RecoveryEvent",
     "RequestRecord",
     "SpeculationEvent",
     "TelemetryEvent",

@@ -9,7 +9,11 @@ time it occurred. Components emit the narrowest type that fits:
   (stage / validate / commit / invalidate / evict / relinquish);
 * :class:`IvEvent` — one IV of the CPU→GPU stream was consumed, and
   what for (a staged commit, an on-demand encryption, a NOP pad);
-* :class:`FaultEvent` — the MPK-style page protection fired.
+* :class:`FaultEvent` — the MPK-style page protection fired;
+* :class:`InjectionEvent` — the fault plane injected a fault
+  (:mod:`repro.faults`);
+* :class:`RecoveryEvent` — a policy reacted to one (retry, resync,
+  re-encryption, degradation-mode change, timeout).
 
 ``request_id`` ties events back to the per-request lifecycle records
 the hub keeps (see :class:`repro.telemetry.hub.RequestRecord`); -1
@@ -28,6 +32,8 @@ __all__ = [
     "SpeculationEvent",
     "IvEvent",
     "FaultEvent",
+    "InjectionEvent",
+    "RecoveryEvent",
     "ClusterEvent",
 ]
 
@@ -95,6 +101,30 @@ class FaultEvent(TelemetryEvent):
     size: int
     access: str  # "write" | "read"
     owners: str = ""
+
+
+@dataclass(frozen=True)
+class InjectionEvent(TelemetryEvent):
+    """The fault plane injected one fault (:mod:`repro.faults`)."""
+
+    #: "pcie" | "engine" | "crypto" | "validator" | "cluster"
+    domain: str
+    #: "pcie-drop" | "pcie-jitter" | "engine-stall" | "tag-corrupt"
+    #: | "iv-desync" | "mispredict" | "replica-crash"
+    action: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(TelemetryEvent):
+    """A fault policy reacted: the system survived (or gave up)."""
+
+    #: "retry" | "retry-exhausted" | "auth-recover" | "resync"
+    #: | "timeout" | "degrade" | "probe" | "restore"
+    action: str
+    attempts: int = 0
+    detail: str = ""
+    request_id: int = -1
 
 
 @dataclass(frozen=True)

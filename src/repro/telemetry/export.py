@@ -21,7 +21,15 @@ import math
 from typing import Any, Dict, Iterable, List, Sequence
 
 from ..sim.tracing import render_gantt
-from .events import ClusterEvent, FaultEvent, IvEvent, SpeculationEvent, TransferEvent
+from .events import (
+    ClusterEvent,
+    FaultEvent,
+    InjectionEvent,
+    IvEvent,
+    RecoveryEvent,
+    SpeculationEvent,
+    TransferEvent,
+)
 from .hub import TelemetryHub
 
 __all__ = [
@@ -67,6 +75,8 @@ _EVENT_LANES = {
     SpeculationEvent: "speculation",
     IvEvent: "iv-stream",
     FaultEvent: "faults",
+    InjectionEvent: "injected-faults",
+    RecoveryEvent: "recovery",
     ClusterEvent: "cluster",
 }
 
@@ -144,6 +154,8 @@ def chrome_trace(hubs: Iterable[TelemetryHub]) -> Dict[str, Any]:
 
 def _event_title(event) -> str:
     if isinstance(event, ClusterEvent):
+        return event.action
+    if isinstance(event, (InjectionEvent, RecoveryEvent)):
         return event.action
     if isinstance(event, SpeculationEvent):
         return event.reason or event.action

@@ -1,0 +1,124 @@
+"""AES-GCM conformance against the NIST CAVP known-answer vectors.
+
+The McGrew-Viega GCM spec test cases (the set NIST's CAVP validation
+reuses) across all three AES key sizes, each exercised three ways:
+
+* **encrypt** — ciphertext and tag must match the vector bit-exactly;
+* **decrypt** — the vector's ciphertext+tag must authenticate and
+  round-trip to the plaintext;
+* **tag-reject** — any single flipped tag bit must raise
+  :class:`AuthenticationError` (and so must a flipped ciphertext or
+  AAD bit on the vectors that have payloads).
+
+Only 96-bit IVs appear here: that is the only IV length the PipeLLM
+channel ever derives (``iv_from_counter``), and the only one the GCM
+fast path (J0 = IV || 0^31 || 1) covers.
+"""
+
+import pytest
+
+from repro.crypto import AesGcm, AuthenticationError, TAG_SIZE
+
+_KEY128 = "feffe9928665731c6d6a8f9467308308"
+_IV96 = "cafebabefacedbaddecaf888"
+_PT64 = (
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255"
+)
+_PT60 = _PT64[:120]
+_AAD20 = "feedfacedeadbeeffeedfacedeadbeefabaddad2"
+
+#: (name, key, iv, plaintext, aad, ciphertext, tag) — all hex.
+VECTORS = [
+    # AES-128 (test cases 1-4)
+    ("aes128-tc1", "00" * 16, "00" * 12, "", "", "",
+     "58e2fccefa7e3061367f1d57a4e7455a"),
+    ("aes128-tc2", "00" * 16, "00" * 12, "00" * 16, "",
+     "0388dace60b6a392f328c2b971b2fe78",
+     "ab6e47d42cec13bdf53a67b21257bddf"),
+    ("aes128-tc3", _KEY128, _IV96, _PT64, "",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+     "4d5c2af327cd64a62cf35abd2ba6fab4"),
+    ("aes128-tc4", _KEY128, _IV96, _PT60, _AAD20,
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+     "5bc94fbc3221a5db94fae95ae7121a47"),
+    # AES-192 (test cases 7-9)
+    ("aes192-tc7", "00" * 24, "00" * 12, "", "", "",
+     "cd33b28ac773f74ba00ed1f312572435"),
+    ("aes192-tc8", "00" * 24, "00" * 12, "00" * 16, "",
+     "98e7247c07f0fe411c267e4384b0f600",
+     "2ff58d80033927ab8ef4d4587514f0fb"),
+    ("aes192-tc9", _KEY128 + "feffe9928665731c", _IV96, _PT64, "",
+     "3980ca0b3c00e841eb06fac4872a2757859e1ceaa6efd984628593b40ca1e19c"
+     "7d773d00c144c525ac619d18c84a3f4718e2448b2fe324d9ccda2710acade256",
+     "9924a7c8587336bfb118024db8674a14"),
+    # AES-256 (test cases 13-15)
+    ("aes256-tc13", "00" * 32, "00" * 12, "", "", "",
+     "530f8afbc74536b9a963b4f1c4cb738b"),
+    ("aes256-tc14", "00" * 32, "00" * 12, "00" * 16, "",
+     "cea7403d4d606b6e074ec5d3baf39d18",
+     "d0d1c8a799996bf0265b98b5d48ab919"),
+    ("aes256-tc15", _KEY128 * 2, _IV96, _PT64, "",
+     "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa"
+     "8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662898015ad",
+     "b094dac5d93471bdec1a502270e3cc6c"),
+]
+
+_IDS = [v[0] for v in VECTORS]
+
+
+def _unpack(vector):
+    name, key, iv, pt, aad, ct, tag = vector
+    return (bytes.fromhex(key), bytes.fromhex(iv), bytes.fromhex(pt),
+            bytes.fromhex(aad), bytes.fromhex(ct), bytes.fromhex(tag))
+
+
+@pytest.mark.parametrize("vector", VECTORS, ids=_IDS)
+def test_encrypt_matches_vector(vector):
+    key, iv, pt, aad, ct, tag = _unpack(vector)
+    got_ct, got_tag = AesGcm(key).encrypt(iv, pt, aad=aad)
+    assert got_ct == ct
+    assert got_tag == tag
+    assert len(got_tag) == TAG_SIZE
+
+
+@pytest.mark.parametrize("vector", VECTORS, ids=_IDS)
+def test_decrypt_matches_vector(vector):
+    key, iv, pt, aad, ct, tag = _unpack(vector)
+    assert AesGcm(key).decrypt(iv, ct, tag, aad=aad) == pt
+
+
+@pytest.mark.parametrize("vector", VECTORS, ids=_IDS)
+def test_every_flipped_tag_bit_rejected(vector):
+    key, iv, pt, aad, ct, tag = _unpack(vector)
+    gcm = AesGcm(key)
+    for byte_index in range(len(tag)):
+        for bit in (0x01, 0x80):
+            bad = bytearray(tag)
+            bad[byte_index] ^= bit
+            with pytest.raises(AuthenticationError):
+                gcm.decrypt(iv, ct, bytes(bad), aad=aad)
+
+
+@pytest.mark.parametrize(
+    "vector", [v for v in VECTORS if v[3]], ids=[v[0] for v in VECTORS if v[3]]
+)
+def test_flipped_ciphertext_bit_rejected(vector):
+    key, iv, pt, aad, ct, tag = _unpack(vector)
+    bad = bytearray(ct)
+    bad[0] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        AesGcm(key).decrypt(iv, bytes(bad), tag, aad=aad)
+
+
+@pytest.mark.parametrize(
+    "vector", [v for v in VECTORS if v[4]], ids=[v[0] for v in VECTORS if v[4]]
+)
+def test_flipped_aad_bit_rejected(vector):
+    key, iv, pt, aad, ct, tag = _unpack(vector)
+    bad = bytearray(aad)
+    bad[-1] ^= 0x01
+    with pytest.raises(AuthenticationError):
+        AesGcm(key).decrypt(iv, ct, tag, aad=bytes(bad))

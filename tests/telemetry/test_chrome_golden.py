@@ -1,0 +1,160 @@
+"""Golden-file schema test for the Chrome-trace exporter.
+
+A hand-built, fully deterministic hub — one span per hardware lane,
+one typed event of every kind (including the fault plane's injection
+and recovery events), one completed swap request and one in-flight
+control request — is exported and compared byte-for-byte against the
+committed golden document.
+
+The golden file pins the exporter's *external contract*: key sets per
+event phase, lane → thread naming, microsecond timestamps, the
+machine-summary block. Any intentional format change must regenerate
+it (and thereby show up in review as a diff):
+
+    PYTHONPATH=src python tests/telemetry/test_chrome_golden.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.telemetry import (
+    ClusterEvent,
+    FaultEvent,
+    InjectionEvent,
+    IvEvent,
+    RecoveryEvent,
+    SpeculationEvent,
+    TelemetryHub,
+    TransferEvent,
+    chrome_trace,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "chrome_trace.json"
+
+MB = 1 << 20
+
+
+def golden_hub() -> TelemetryHub:
+    """A deterministic hub exercising every exporter surface."""
+    hub = TelemetryHub(enabled=True, label="golden-machine")
+
+    tracer = hub.tracer
+    tracer.record("speculation", "staged layer.0", 0.0002, 0.0010)
+    tracer.record("enc[0]", "aes-gcm", 0.0005, 0.0009)
+    tracer.record("pcie.h2d.cc", "swap layer.0", 0.0010, 0.0018)
+    tracer.record("gpu", "decode", 0.0020, 0.0060)
+
+    hub.emit(TransferEvent(0.0010, "h2d", 4096, MB, tag="layer.0", request_id=0))
+    hub.emit(SpeculationEvent(0.0011, "validate", addr=4096, size=MB, iv=7,
+                              reason="hit_now", request_id=0))
+    hub.emit(IvEvent(0.0012, "cpu-tx", iv=7, purpose="staged", request_id=0))
+    hub.emit(FaultEvent(0.0013, addr=4096, size=MB, access="write",
+                        owners="runtime"))
+    hub.emit(InjectionEvent(0.0014, "crypto", "tag-corrupt", detail="swap"))
+    hub.emit(RecoveryEvent(0.0015, "auth-recover", attempts=2,
+                           detail="re-encrypt", request_id=0))
+    hub.emit(ClusterEvent(0.0016, "dispatch", tenant="tenant-0", replica=1,
+                          request_id=3, detail="least-loaded"))
+
+    swap = hub.begin_request("h2d", 4096, MB, 0.0010, tag="layer.0")
+    swap.kind = "swap"
+    swap.swap_class = "weights"
+    swap.outcome = "hit_now"
+    swap.strategy = "staged"
+    swap.staged_iv = 7
+    swap.commit_iv = 7
+    hub.mark_api_done(swap, 0.0011)
+    hub.mark_complete(swap, 0.0018)
+
+    control = hub.begin_request("d2h", 8192, 2048, 0.0020, tag="tok")
+    control.kind = "control"
+    control.strategy = "inline"
+    hub.mark_api_done(control, 0.0021)  # never completes: ends at api_done
+
+    return hub
+
+
+def export() -> dict:
+    # Round-trip through the JSON codec so the comparison sees exactly
+    # what a consumer would parse.
+    return json.loads(json.dumps(chrome_trace([golden_hub()])))
+
+
+class TestGoldenDocument:
+    def test_matches_committed_golden_byte_for_byte(self):
+        assert GOLDEN.exists(), (
+            f"golden file missing; regenerate with "
+            f"PYTHONPATH=src python {Path(__file__).relative_to(Path.cwd())}"
+        )
+        golden = json.loads(GOLDEN.read_text())
+        assert export() == golden, (
+            "chrome_trace output drifted from the committed golden file; "
+            "if the change is intentional, regenerate with "
+            "PYTHONPATH=src python tests/telemetry/test_chrome_golden.py"
+        )
+
+
+class TestSchema:
+    """Structural assertions, so a failure names the broken contract."""
+
+    def test_top_level_shape(self):
+        doc = export()
+        assert sorted(doc) == ["displayTimeUnit", "otherData", "traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_key_sets_per_phase(self):
+        doc = export()
+        by_phase = {}
+        for event in doc["traceEvents"]:
+            by_phase.setdefault(event["ph"], set()).add(tuple(sorted(event)))
+        assert by_phase["M"] == {("args", "name", "ph", "pid", "tid")}
+        assert by_phase["X"] == {
+            ("args", "cat", "dur", "name", "ph", "pid", "tid", "ts")
+        }
+        assert by_phase["i"] == {
+            ("args", "cat", "name", "ph", "pid", "s", "tid", "ts")
+        }
+
+    def test_every_event_kind_gets_a_lane(self):
+        doc = export()
+        thread_names = {
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        for lane in ("requests", "transfers", "speculation", "iv-stream",
+                     "faults", "injected-faults", "recovery", "cluster"):
+            assert lane in thread_names, f"missing thread for {lane} events"
+
+    def test_instants_cover_every_event_type(self):
+        doc = export()
+        cats = {e["cat"] for e in doc["traceEvents"] if e.get("ph") == "i"}
+        assert cats == {"transfer", "speculation", "iv", "fault",
+                        "injection", "recovery", "cluster"}
+
+    def test_machine_summary(self):
+        doc = export()
+        (summary,) = doc["otherData"]["machines"]
+        assert summary == {
+            "label": "golden-machine",
+            "spans": 4,
+            "events": 7,
+            "dropped_events": 0,
+            "requests": 2,
+            "outcomes": {"hit_now": 1},
+            "success_rate": 1.0,
+        }
+
+    def test_timestamps_are_microseconds(self):
+        doc = export()
+        swap_span = next(
+            e for e in doc["traceEvents"]
+            if e.get("cat") == "request" and e["args"]["kind"] == "swap"
+        )
+        assert swap_span["ts"] == 0.0010 * 1e6
+        assert swap_span["dur"] == (0.0018 - 0.0010) * 1e6
+
+
+if __name__ == "__main__":
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(json.dumps(export(), indent=2, sort_keys=True) + "\n")
+    print(f"regenerated {GOLDEN}")
