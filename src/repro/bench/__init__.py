@@ -10,6 +10,7 @@ from .experiments import (
     FULL,
     QUICK,
     Scale,
+    attribution_breakdown,
     fig10_success_rate,
     fig2_microbenchmark,
     fig3a_flexgen_overhead,
@@ -22,6 +23,16 @@ from .experiments import (
     run_peft,
     run_vllm,
 )
+from .continuous import (
+    BENCH_SCHEMA_VERSION,
+    SUITES,
+    compare_artifacts,
+    find_latest_artifact,
+    load_artifact,
+    next_artifact_path,
+    render_comparison,
+    run_suite,
+)
 from .faults import FULL_FAULT_RATES, QUICK_FAULT_RATES, fault_campaign
 from .systems import CC, SystemSpec, WITHOUT_CC, cc_threads, pipellm, pipellm_zero
 from .claims import CLAIMS, Claim, ClaimOutcome, verify_claims
@@ -31,8 +42,17 @@ from .teeio import TEEIO_LINE_RATE, extension_teeio_scaling, teeio_params
 from .tables import ExperimentResult
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "CC",
+    "SUITES",
+    "compare_artifacts",
+    "find_latest_artifact",
+    "load_artifact",
+    "next_artifact_path",
+    "render_comparison",
+    "run_suite",
     "ablation_async_decrypt",
+    "attribution_breakdown",
     "ablation_enc_threads",
     "ablation_kv_depth",
     "ablation_leeway",

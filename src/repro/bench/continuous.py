@@ -1,0 +1,379 @@
+"""Continuous benchmark harness (``python -m repro bench``).
+
+Runs a pinned-seed suite over the repo's standing campaigns — the
+Fig. 2 microbenchmark, FlexGen offloading under CC and PipeLLM (with
+full critical-path attribution from :mod:`repro.observatory`), the
+multi-replica cluster, and a fault storm — and writes one
+schema-versioned ``BENCH_<n>.json`` artifact per run: throughput,
+per-stage attribution, speculation stats, bottleneck verdicts and
+wall-clock.
+
+The paired comparator diffs two artifacts' **key metrics** (each
+tagged with its improvement direction) and reports anything that
+moved past the regression tolerance (default 5 %). All key metrics
+are simulated quantities, so two same-seed runs compare exactly
+equal; wall-clock is recorded for the curious but never gated.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..cluster import run_cluster
+from ..core import ClusterConfig
+from ..models import OPT_66B
+from ..observatory import profile_hub
+from ..sim import default_seed, set_default_seed
+from ..telemetry import recording
+from ..workloads import SyntheticShape
+from .experiments import (
+    OFFLOAD_DEC_THREADS,
+    OFFLOAD_ENC_THREADS,
+    Scale,
+    fig2_microbenchmark,
+    run_flexgen,
+)
+from .faults import _ADAPTIVE, _run_once
+from .systems import CC, WITHOUT_CC, pipellm
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "SUITES",
+    "compare_artifacts",
+    "find_latest_artifact",
+    "load_artifact",
+    "next_artifact_path",
+    "render_comparison",
+    "run_suite",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Default regression tolerance: relative change beyond which a key
+#: metric counts as regressed (in its bad direction).
+REGRESSION_TOLERANCE = 0.05
+
+_ARTIFACT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class SuiteScale:
+    """Run sizes of one suite variant."""
+
+    name: str
+    flexgen_requests: int
+    flexgen_output: int
+    cluster_rate: float
+    cluster_duration: float
+    cluster_tenants: int
+    fig2_transfers: int
+
+
+SUITES: Dict[str, SuiteScale] = {
+    "standard": SuiteScale(
+        name="standard", flexgen_requests=48, flexgen_output=8,
+        cluster_rate=4.0, cluster_duration=10.0, cluster_tenants=4,
+        fig2_transfers=64,
+    ),
+    "smoke": SuiteScale(
+        name="smoke", flexgen_requests=16, flexgen_output=4,
+        cluster_rate=3.0, cluster_duration=5.0, cluster_tenants=3,
+        fig2_transfers=32,
+    ),
+}
+
+
+def _key(value: float, higher_is_better: bool) -> Dict[str, Any]:
+    return {"value": float(value), "higher_is_better": bool(higher_is_better)}
+
+
+def _profiled_flexgen(system, suite: SuiteScale, seed: int) -> Dict[str, Any]:
+    """One FlexGen OPT-66B run with full critical-path attribution."""
+    shape = SyntheticShape(32, suite.flexgen_output)
+    with recording() as session:
+        result, runtime = run_flexgen(
+            system, OPT_66B, shape, suite.flexgen_requests, suite.flexgen_requests
+        )
+    hub = session.hubs[0]
+    machine = runtime.machine
+    profile = profile_hub(
+        hub, horizon=machine.sim.now,
+        enc_bandwidth=machine.params.enc_bandwidth_per_thread,
+    )
+    wire = machine.metrics.latencies.get("telemetry.h2d_wire_s")
+    out: Dict[str, Any] = {
+        "system": system.name,
+        "throughput_tok_s": result.throughput,
+        "elapsed_s": result.elapsed,
+        "swap_ins": result.swap_in_count,
+        "verdict": profile.verdict,
+        "attribution_s": {s: profile.totals[s] for s in sorted(profile.totals)},
+        "attribution_share": {
+            s: profile.share(s) for s in sorted(profile.totals)
+        },
+        "p50_wire_s": wire.p(50) if wire is not None else 0.0,
+        "p99_wire_s": wire.p(99) if wire is not None else 0.0,
+    }
+    if hasattr(runtime, "stats"):
+        stats = runtime.stats()
+        out["speculation"] = {
+            "hit_rate": stats["success_rate"],
+            "saved_s": profile.speculation.saved_s,
+            "wasted_s": profile.speculation.wasted_s,
+            "nops_sent": stats["nops_sent"],
+            "staged_total": stats["staged_total"],
+            "invalidated": profile.speculation.invalidated,
+        }
+    return out
+
+
+def _micro_campaign(suite: SuiteScale) -> Dict[str, Any]:
+    scale = Scale(
+        name=f"bench-{suite.name}", flexgen_requests=suite.flexgen_requests,
+        flexgen_output=suite.flexgen_output, vllm_duration=10.0,
+        peft_steps=2, fig2_transfers=suite.fig2_transfers,
+    )
+    table = fig2_microbenchmark(scale)
+    out: Dict[str, Any] = {}
+    for row in table.rows:
+        key = f"{row['system']}@{row['size']}".replace(" ", "")
+        out[key] = {
+            "latency_us": row["latency_us"],
+            "throughput_gbps": row["throughput_gbps"],
+        }
+    return out
+
+
+def _cluster_campaign(suite: SuiteScale, seed: int) -> Dict[str, Any]:
+    config = ClusterConfig(replicas=2, system="pipellm", seed=seed)
+    result = run_cluster(
+        config, rate=suite.cluster_rate, duration=suite.cluster_duration,
+        tenants=suite.cluster_tenants,
+    )
+    return {
+        "offered": result.offered,
+        "completed": result.completed,
+        "shed": result.shed,
+        "throughput_req_s": result.throughput,
+        "p50_latency_s": result.p50_latency,
+        "p99_latency_s": result.p99_latency,
+        "iv_observed": result.iv_observed,
+        "auth_failures": result.auth_failures,
+    }
+
+
+def _faults_campaign(suite: SuiteScale) -> Dict[str, Any]:
+    scale = Scale(
+        name=f"bench-{suite.name}", flexgen_requests=suite.flexgen_requests,
+        flexgen_output=suite.flexgen_output, vllm_duration=10.0,
+        peft_steps=2, fig2_transfers=suite.fig2_transfers,
+    )
+    # Clean run calibrates the storm window, exactly like the full
+    # campaign; both runs contribute metrics.
+    _, _, _, _, dry = _run_once(scale, 0.0, _ADAPTIVE, (0.0, 0.0))
+    window = (0.15 * dry.elapsed, 0.55 * dry.elapsed)
+    machine, runtime, injector, audit, stormy = _run_once(
+        scale, 0.3, _ADAPTIVE, window
+    )
+    stats = runtime.stats()
+    return {
+        "clean_throughput_tok_s": dry.throughput,
+        "storm_rate": 0.3,
+        "storm_throughput_tok_s": stormy.throughput,
+        "injected": injector.injected_total,
+        "auth_recoveries": stats["auth_recoveries"],
+        "mode_switches": stats["mode_switches"],
+        "final_mode": runtime.fault_controller.mode.value,
+        "iv_observed": audit.observed,
+    }
+
+
+def run_suite(
+    suite: str = "standard",
+    seed: int = 1,
+    clock: Optional[Callable[[], float]] = None,
+) -> Dict[str, Any]:
+    """Run every campaign of one suite; returns the artifact document.
+
+    ``clock`` is an (optional) wall-clock source injected by the CLI —
+    the simulation tree itself never reads wall time. The artifact's
+    ``key_metrics`` block is what the comparator gates on; every entry
+    is a simulated quantity, deterministic under (suite, seed).
+    """
+    t0 = clock() if clock is not None else 0.0
+    scale = SUITES[suite]
+    # The override is process-wide CLI state; restore whatever was
+    # there so a suite run never leaks its seed into later code.
+    previous_seed = default_seed(None)  # type: ignore[arg-type]
+    set_default_seed(seed)
+    try:
+        pipe = pipellm(OFFLOAD_ENC_THREADS, OFFLOAD_DEC_THREADS)
+        campaigns = {
+            "micro-fig2": _micro_campaign(scale),
+            "offload-nocc": _profiled_flexgen(WITHOUT_CC, scale, seed),
+            "offload-cc": _profiled_flexgen(CC, scale, seed),
+            "offload-pipellm": _profiled_flexgen(pipe, scale, seed),
+            "cluster": _cluster_campaign(scale, default_seed(seed)),
+            "faults": _faults_campaign(scale),
+        }
+    finally:
+        set_default_seed(previous_seed)
+
+    cc = campaigns["offload-cc"]
+    pl = campaigns["offload-pipellm"]
+    cl = campaigns["cluster"]
+    fl = campaigns["faults"]
+    key_metrics = {
+        "micro_cc_32mb_gbps": _key(
+            campaigns["micro-fig2"]["CC@32MB"]["throughput_gbps"], True
+        ),
+        "micro_nocc_32mb_gbps": _key(
+            campaigns["micro-fig2"]["w/oCC@32MB"]["throughput_gbps"], True
+        ),
+        "offload_cc_throughput_tok_s": _key(cc["throughput_tok_s"], True),
+        "offload_pipellm_throughput_tok_s": _key(pl["throughput_tok_s"], True),
+        "pipellm_speedup_over_cc": _key(
+            pl["throughput_tok_s"] / cc["throughput_tok_s"]
+            if cc["throughput_tok_s"] else 0.0,
+            True,
+        ),
+        "pipellm_hit_rate": _key(pl["speculation"]["hit_rate"], True),
+        "pipellm_p99_wire_s": _key(pl["p99_wire_s"], False),
+        "pipellm_encrypt_share": _key(
+            pl["attribution_share"].get("encrypt", 0.0), False
+        ),
+        "cluster_throughput_req_s": _key(cl["throughput_req_s"], True),
+        "cluster_p99_latency_s": _key(cl["p99_latency_s"], False),
+        "faults_storm_throughput_tok_s": _key(fl["storm_throughput_tok_s"], True),
+    }
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "seed": seed,
+        "verdicts": {
+            "offload-cc": cc["verdict"],
+            "offload-pipellm": pl["verdict"],
+        },
+        "key_metrics": key_metrics,
+        "campaigns": campaigns,
+        # Recorded for humans; excluded from regression gating.
+        "wall_clock_s": (clock() - t0) if clock is not None else 0.0,
+    }
+
+
+# -- artifacts on disk ---------------------------------------------------
+
+
+def artifact_index(path: Path) -> Optional[int]:
+    match = _ARTIFACT_RE.match(path.name)
+    return int(match.group(1)) if match else None
+
+
+def find_latest_artifact(directory: Path, below: Optional[int] = None) -> Optional[Path]:
+    """Highest-numbered ``BENCH_<n>.json`` (optionally with n < below)."""
+    best: Tuple[int, Optional[Path]] = (-1, None)
+    for path in directory.glob("BENCH_*.json"):
+        index = artifact_index(path)
+        if index is None or (below is not None and index >= below):
+            continue
+        if index > best[0]:
+            best = (index, path)
+    return best[1]
+
+
+def next_artifact_path(directory: Path) -> Path:
+    latest = find_latest_artifact(directory)
+    index = artifact_index(latest) + 1 if latest is not None else 0
+    return directory / f"BENCH_{index}.json"
+
+
+# -- comparator ----------------------------------------------------------
+
+
+def compare_artifacts(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Diff two artifacts' key metrics.
+
+    Returns ``{"regressions": [...], "improvements": [...],
+    "unchanged": [...]}`` where each entry carries the metric name,
+    both values and the relative change (positive = candidate higher).
+    A metric regresses when it moved more than ``tolerance`` in its
+    bad direction; the verdicts flipping is always a regression.
+    """
+    out: Dict[str, List[Dict[str, Any]]] = {
+        "regressions": [], "improvements": [], "unchanged": [],
+    }
+    base_metrics = baseline.get("key_metrics", {})
+    cand_metrics = candidate.get("key_metrics", {})
+    for name in sorted(set(base_metrics) & set(cand_metrics)):
+        base = base_metrics[name]
+        cand = cand_metrics[name]
+        higher_is_better = base.get("higher_is_better", True)
+        b, c = base["value"], cand["value"]
+        change = (c - b) / abs(b) if b else (0.0 if c == b else float("inf"))
+        entry = {
+            "metric": name, "baseline": b, "candidate": c,
+            "change": change, "higher_is_better": higher_is_better,
+        }
+        bad = -change if higher_is_better else change
+        if bad > tolerance:
+            out["regressions"].append(entry)
+        elif bad < -tolerance:
+            out["improvements"].append(entry)
+        else:
+            out["unchanged"].append(entry)
+    for campaign, verdict in baseline.get("verdicts", {}).items():
+        cand_verdict = candidate.get("verdicts", {}).get(campaign)
+        if cand_verdict is not None and cand_verdict != verdict:
+            out["regressions"].append({
+                "metric": f"verdict:{campaign}", "baseline": verdict,
+                "candidate": cand_verdict, "change": float("nan"),
+                "higher_is_better": True,
+            })
+    return out
+
+
+def render_comparison(diff: Dict[str, List[Dict[str, Any]]]) -> str:
+    lines: List[str] = []
+    for bucket, marker in (
+        ("regressions", "REGRESSION"), ("improvements", "improved"),
+        ("unchanged", "ok"),
+    ):
+        for entry in diff[bucket]:
+            if isinstance(entry["baseline"], str):
+                lines.append(
+                    f"  {marker:<10} {entry['metric']}: "
+                    f"{entry['baseline']} -> {entry['candidate']}"
+                )
+                continue
+            arrow = "+" if entry["change"] >= 0 else ""
+            lines.append(
+                f"  {marker:<10} {entry['metric']}: "
+                f"{entry['baseline']:.6g} -> {entry['candidate']:.6g} "
+                f"({arrow}{100 * entry['change']:.2f}%)"
+            )
+    summary = (
+        f"{len(diff['regressions'])} regressions, "
+        f"{len(diff['improvements'])} improvements, "
+        f"{len(diff['unchanged'])} unchanged"
+    )
+    return summary + ("\n" + "\n".join(lines) if lines else "")
+
+
+def load_artifact(path: Path) -> Dict[str, Any]:
+    doc = json.loads(path.read_text())
+    version = doc.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: artifact schema v{version}, harness speaks "
+            f"v{BENCH_SCHEMA_VERSION}"
+        )
+    return doc

@@ -51,6 +51,7 @@ __all__ = [
     "Scale",
     "QUICK",
     "FULL",
+    "attribution_breakdown",
     "fig2_microbenchmark",
     "fig3a_flexgen_overhead",
     "fig3b_vllm_overhead",
@@ -268,6 +269,58 @@ def fig3a_flexgen_overhead(scale="quick") -> ExperimentResult:
                 throughput_tok_s=res.throughput,
                 drop_pct=_drop(base.throughput, res.throughput),
             )
+    return result
+
+
+def attribution_breakdown(scale="quick") -> ExperimentResult:
+    """Per-stage critical-path attribution of the FlexGen weight
+    stream (w/o CC / CC / PipeLLM), from the observatory profiler."""
+    from ..observatory import profile_hub
+    from ..telemetry import recording
+
+    scale = _scale(scale)
+    result = ExperimentResult(
+        "attrib",
+        "Critical-path attribution per stage (FlexGen OPT-66B)",
+        columns=[
+            "system", "verdict", "encrypt_pct", "wire_order_pct",
+            "staging_pct", "control_pct", "pcie_pct", "decrypt_pct",
+            "other_pct", "hit_rate", "net_saved_s",
+        ],
+    )
+    shape = SyntheticShape(512, scale.flexgen_output or 8)
+    systems = (WITHOUT_CC, CC, pipellm(OFFLOAD_ENC_THREADS, OFFLOAD_DEC_THREADS))
+    for system in systems:
+        with recording():
+            _, runtime = run_flexgen(
+                system, OPT_66B, shape, FLEXGEN_BATCH, scale.flexgen_requests
+            )
+            machine = runtime.machine
+            profile = profile_hub(
+                machine.telemetry,
+                enc_bandwidth=machine.params.enc_bandwidth_per_thread,
+            )
+        result.add_row(
+            system=system.name,
+            verdict=profile.verdict,
+            encrypt_pct=100 * profile.share("encrypt"),
+            wire_order_pct=100 * profile.share("wire-order"),
+            staging_pct=100 * profile.share("staging"),
+            control_pct=100 * profile.share("control"),
+            pcie_pct=100 * profile.share("pcie"),
+            decrypt_pct=100 * profile.share("decrypt"),
+            other_pct=100 * profile.share("other"),
+            hit_rate=profile.speculation.hit_rate,
+            net_saved_s=profile.speculation.net_saved_s,
+        )
+    result.add_note(
+        "per-stage shares of total blocked wire time; each request's "
+        "stages sum to its end-to-end latency exactly"
+    )
+    result.add_note(
+        "net_saved_s: critical-path AES seconds removed by staged hits "
+        "minus AES work wasted on invalidated staging entries"
+    )
     return result
 
 

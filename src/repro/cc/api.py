@@ -205,19 +205,22 @@ class CudaContext(DeviceRuntime):
         if record is not None:
             record.strategy = "inline" if self.machine.cc_enabled else "native"
         if self.machine.cc_enabled:
-            self.sim.process(self._h2d_cc(handle))
+            self.sim.process(self._h2d_cc(handle, record))
         else:
-            self.sim.process(self._h2d_plain(handle))
+            self.sim.process(self._h2d_plain(handle, record))
         return handle
 
-    def _h2d_plain(self, handle: TransferHandle):
+    def _h2d_plain(self, handle: TransferHandle, record: Optional[RequestRecord] = None):
         chunk = handle.chunk
         self.sim.process(_fire_after(self.sim, self.params.ncc_api_latency(chunk.size), handle.api_done))
+        start = self.sim.now
         yield self.machine.pcie.transfer_h2d(chunk.size)
+        if record is not None:
+            record.mark_stage("pcie", start, self.sim.now)
         self.machine.gpu.receive_plaintext(chunk)
         handle.complete.succeed()
 
-    def _h2d_cc(self, handle: TransferHandle):
+    def _h2d_cc(self, handle: TransferHandle, record: Optional[RequestRecord] = None):
         chunk = handle.chunk
         # Functional layer runs eagerly in call order on both sides:
         # the CUDA library consumes TX IVs in API-call order, and the
@@ -228,10 +231,16 @@ class CudaContext(DeviceRuntime):
         self.machine.gpu.receive_ciphertext(chunk, message)
         # Timing: the call blocks for control plane + one-thread AES.
         service = self.params.cc_control_latency + chunk.size / self.params.enc_bandwidth_per_thread
+        start = self.sim.now
         yield self.machine.engine._enc_pool.submit(service)
+        if record is not None:
+            record.mark_stage("encrypt", start, self.sim.now)
         self.machine.engine.bytes_encrypted += chunk.size
         handle.api_done.succeed()
+        start = self.sim.now
         yield self.machine.pcie.transfer_h2d(chunk.size, cc_path=True)
+        if record is not None:
+            record.mark_stage("pcie", start, self.sim.now)
         handle.complete.succeed()
 
     # -- device to host ----------------------------------------------------
@@ -244,29 +253,38 @@ class CudaContext(DeviceRuntime):
         if record is not None:
             record.strategy = "inline" if self.machine.cc_enabled else "native"
         if self.machine.cc_enabled:
-            self.sim.process(self._d2h_cc(handle))
+            self.sim.process(self._d2h_cc(handle, record))
         else:
-            self.sim.process(self._d2h_plain(handle))
+            self.sim.process(self._d2h_plain(handle, record))
         return handle
 
-    def _d2h_plain(self, handle: TransferHandle):
+    def _d2h_plain(self, handle: TransferHandle, record: Optional[RequestRecord] = None):
         chunk = handle.chunk
         self.sim.process(_fire_after(self.sim, self.params.ncc_api_latency(chunk.size), handle.api_done))
+        start = self.sim.now
         yield self.machine.pcie.transfer_d2h(chunk.size)
+        if record is not None:
+            record.mark_stage("pcie", start, self.sim.now)
         device_payload = self.machine.gpu.read_plaintext(chunk.tag)
         self.machine.host_memory.write_silent(chunk.addr, device_payload or chunk.payload)
         handle.complete.succeed()
 
-    def _d2h_cc(self, handle: TransferHandle):
+    def _d2h_cc(self, handle: TransferHandle, record: Optional[RequestRecord] = None):
         chunk = handle.chunk
         # Functional: GPU copy engine encrypts with its next TX IV at
         # call time; the CPU decrypts in the same order below.
         message = self.machine.gpu.send_ciphertext(chunk)
         plaintext = self.machine.cpu_endpoint.decrypt_next(message)
+        start = self.sim.now
         yield self.machine.pcie.transfer_d2h(chunk.size, cc_path=True)
+        if record is not None:
+            record.mark_stage("pcie", start, self.sim.now)
         # Timing: the call blocks until the CPU thread finished decrypting.
         service = self.params.cc_control_latency + chunk.size / self.params.dec_bandwidth_per_thread
+        start = self.sim.now
         yield self.machine.engine._dec_pool.submit(service)
+        if record is not None:
+            record.mark_stage("decrypt", start, self.sim.now)
         self.machine.engine.bytes_decrypted += chunk.size
         self.machine.host_memory.write_silent(chunk.addr, plaintext)
         handle.api_done.succeed()

@@ -16,9 +16,18 @@ Commands:
 * ``cluster [--replicas N --policy P --fail-at T]`` — serve a
   multi-tenant Poisson workload on N confidential replicas behind the
   encrypted-session gateway and print the throughput/latency summary.
+* ``bench [--suite standard|smoke] [--out F] [--compare [BASE]]`` —
+  the continuous benchmark harness: run the pinned-seed suite, write a
+  schema-versioned ``BENCH_<n>.json`` artifact, and/or diff two
+  artifacts' key metrics (exit 1 on >5 % regression).
+* ``dash`` — live ASCII dashboard over a FlexGen offloading run:
+  utilization bars, latency percentiles, speculation hit-rate,
+  IV-audit status and the degradation mode, refreshed from simulated
+  time.
 
-``run``, ``all``, ``trace`` and ``cluster`` accept ``--seed N`` to
-override every workload generator's RNG seed process-wide.
+``run``, ``all``, ``trace``, ``cluster``, ``bench`` and ``dash``
+accept ``--seed N`` to override every workload generator's RNG seed
+process-wide.
 """
 
 from __future__ import annotations
@@ -30,7 +39,9 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from .bench import (
+    SUITES,
     ablation_async_decrypt,
+    attribution_breakdown,
     cluster_scaling,
     fault_campaign,
     verify_claims,
@@ -70,6 +81,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext-zero": extension_zero_offload,
     "cluster": cluster_scaling,
     "faults": fault_campaign,
+    "attrib": attribution_breakdown,
 }
 
 _SYSTEMS_HELP = """\
@@ -156,6 +168,47 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="retain at most N typed events per machine")
     trace.add_argument("--seed", type=int, default=None,
                        help="override every workload generator's RNG seed")
+    trace.add_argument("--attrib", type=int, default=None, metavar="REQ",
+                       help="print the critical-path waterfall for request "
+                            "id REQ (and the aggregate profile) instead of "
+                            "exporting; REQ=-1 profiles every machine "
+                            "without a per-request waterfall")
+
+    bench = sub.add_parser(
+        "bench", help="continuous benchmark harness with regression gating"
+    )
+    bench.add_argument("--suite", choices=sorted(SUITES), default="standard")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="artifact path (default: next BENCH_<n>.json "
+                            "under --dir)")
+    bench.add_argument("--dir", default=".", metavar="DIR",
+                       help="directory holding BENCH_*.json artifacts")
+    bench.add_argument("--compare", nargs="?", const="latest", default=None,
+                       metavar="BASELINE",
+                       help="after the run, diff against BASELINE (default: "
+                            "the latest prior artifact); exit 1 on regression")
+    bench.add_argument("--candidate", default=None, metavar="FILE",
+                       help="compare FILE instead of running the suite")
+    bench.add_argument("--tolerance", type=float, default=5.0, metavar="PCT",
+                       help="regression tolerance in percent (default 5)")
+    bench.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0 (PR soft gate)")
+    bench.add_argument("--seed", type=int, default=None, metavar="N")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the comparison (or artifact) as JSON")
+
+    dash = sub.add_parser(
+        "dash", help="live ASCII dashboard over a FlexGen offloading run"
+    )
+    dash.add_argument("--system", choices=("pipellm", "cc"), default="pipellm")
+    dash.add_argument("--requests", type=int, default=12, metavar="N")
+    dash.add_argument("--interval-ms", type=float, default=50.0,
+                      help="frame period in simulated milliseconds")
+    dash.add_argument("--refresh-s", type=float, default=0.0, metavar="S",
+                      help="wall-clock pause between frames (watchable pace)")
+    dash.add_argument("--seed", type=int, default=None, metavar="N")
+    dash.add_argument("--json", action="store_true",
+                      help="print only the final summary as JSON")
     return parser
 
 
@@ -174,6 +227,8 @@ def _run_trace(args, out) -> int:
 
     with recording(max_events_per_hub=args.max_events) as session:
         EXPERIMENTS[args.experiment](args.scale)
+    if args.attrib is not None:
+        return _print_attrib(session, args.attrib, out)
     if args.format == "chrome":
         text = json.dumps(chrome_trace(session.hubs), separators=(",", ":"))
     elif args.format == "json":
@@ -191,6 +246,112 @@ def _run_trace(args, out) -> int:
               f"({len(session.hubs)} machines) to {args.out}", file=out)
     else:
         print(text, file=out)
+    return 0
+
+
+def _print_attrib(session, request_id: int, out) -> int:
+    """``trace --attrib``: per-request waterfalls via the profiler."""
+    from .observatory import profile_hub, render_profile, render_waterfall
+
+    found = False
+    for hub in session.hubs:
+        profile = profile_hub(hub, enc_bandwidth=None)
+        if not profile.requests:
+            continue
+        print(render_profile(profile), file=out)
+        if request_id >= 0:
+            attribution = profile.find(request_id)
+            if attribution is not None:
+                print(render_waterfall(attribution), file=out)
+                found = True
+        print(file=out)
+    if request_id >= 0 and not found:
+        print(f"request id {request_id} not found in any machine's records",
+              file=out)
+        return 1
+    return 0
+
+
+def _run_bench(args, out) -> int:
+    from .bench.continuous import (
+        compare_artifacts,
+        find_latest_artifact,
+        load_artifact,
+        next_artifact_path,
+        render_comparison,
+        run_suite,
+    )
+    from pathlib import Path
+
+    directory = Path(args.dir)
+    candidate_path = None
+    if args.candidate is not None:
+        candidate_path = Path(args.candidate)
+        candidate = load_artifact(candidate_path)
+    else:
+        seed = args.seed if args.seed is not None else 1
+        candidate = run_suite(args.suite, seed=seed, clock=time.time)
+        candidate_path = Path(args.out) if args.out else next_artifact_path(directory)
+        candidate_path.write_text(
+            json.dumps(candidate, indent=2, sort_keys=True) + "\n"
+        )
+        print(
+            f"wrote {candidate_path} (suite={candidate['suite']} "
+            f"seed={candidate['seed']} "
+            f"wall={candidate['wall_clock_s']:.1f}s "
+            f"verdicts: cc={candidate['verdicts']['offload-cc']} "
+            f"pipellm={candidate['verdicts']['offload-pipellm']})",
+            file=out,
+        )
+
+    if args.compare is None:
+        if args.json and args.candidate is not None:
+            print(json.dumps(candidate, indent=2, sort_keys=True), file=out)
+        return 0
+
+    if args.compare == "latest":
+        own = None
+        if candidate_path is not None:
+            from .bench.continuous import artifact_index
+            own = artifact_index(candidate_path)
+        baseline_path = find_latest_artifact(directory, below=own)
+        if baseline_path is None or baseline_path == candidate_path:
+            print("no prior BENCH_*.json artifact to compare against", file=out)
+            return 0
+    else:
+        baseline_path = Path(args.compare)
+    baseline = load_artifact(baseline_path)
+    diff = compare_artifacts(baseline, candidate, tolerance=args.tolerance / 100.0)
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True), file=out)
+    else:
+        print(f"compare {baseline_path.name} -> {candidate_path.name}:", file=out)
+        print(render_comparison(diff), file=out)
+    if diff["regressions"] and not args.warn_only:
+        return 1
+    return 0
+
+
+def _run_dash(args, out) -> int:
+    from .observatory.dashboard import run_flexgen_dashboard
+
+    if args.system == "pipellm":
+        from .bench import pipellm
+
+        system = pipellm(8, 2)
+    else:
+        from .bench import CC as system  # noqa: N811
+
+    run = run_flexgen_dashboard(
+        system=system,
+        n_requests=args.requests,
+        interval_s=args.interval_ms / 1e3,
+        render=not args.json,
+        sink=None if args.json else (lambda frame: print(frame + "\n", file=out)),
+        refresh_wall_s=args.refresh_s,
+        seed=args.seed if args.seed is not None else 1,
+    )
+    print(json.dumps(run.summary, indent=2, sort_keys=True), file=out)
     return 0
 
 
@@ -295,6 +456,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _run_trace(args, out)
     if args.command == "cluster":
         return _run_cluster(args, out)
+    if args.command == "bench":
+        return _run_bench(args, out)
+    if args.command == "dash":
+        return _run_dash(args, out)
     return 2
 
 

@@ -352,9 +352,9 @@ class PipeLLMRuntime(DeviceRuntime):
             pending = _PendingDecrypt(chunk.addr, chunk.size, plaintext, self.sim.event(), owner)
             self._pending_decrypts[chunk.addr] = pending
             self.pipeline.blocked_addrs[chunk.addr] = "pending-decrypt"
-            self.sim.process(self._timed_d2h_async(handle, chunk, pending))
+            self.sim.process(self._timed_d2h_async(handle, chunk, pending, record=record))
         else:
-            self.sim.process(self._timed_d2h_sync(handle, chunk, plaintext))
+            self.sim.process(self._timed_d2h_sync(handle, chunk, plaintext, record=record))
 
         if is_swap and self.fault_controller.speculation_enabled:
             self.pipeline.refill(self.predictor, self._leeway())
@@ -497,7 +497,8 @@ class PipeLLMRuntime(DeviceRuntime):
             enc_ready = self.sim.all_of([entry.ready, *extra])
         prev, mine = self._advance_chain()
         self.sim.process(
-            self._timed_h2d(handle, entry.chunk.size, enc_ready, prev, mine, staged=True)
+            self._timed_h2d(handle, entry.chunk.size, enc_ready, prev, mine,
+                            staged=True, record=record)
         )
 
     def _commit_ondemand(
@@ -535,7 +536,7 @@ class PipeLLMRuntime(DeviceRuntime):
         self.sim.process(
             self._timed_h2d(
                 handle, chunk.size, enc_ready, prev, mine,
-                staged=False, blocking_api=blocking_api,
+                staged=False, blocking_api=blocking_api, record=record,
             )
         )
 
@@ -577,19 +578,40 @@ class PipeLLMRuntime(DeviceRuntime):
         mine: Event,
         staged: bool,
         blocking_api: bool = False,
+        record: Optional[RequestRecord] = None,
     ):
+        # Stage marks record the exact sequential wait intervals of this
+        # request's wire path — they tile [submit, complete] (staged
+        # hits spend ~nothing in "encrypt"; on-demand commits wait the
+        # full AES service there), which is what lets the critical-path
+        # profiler attribute latency without double counting.
+        start = self.sim.now
         if enc_ready is not None:
             yield enc_ready
+            if record is not None:
+                record.mark_stage("encrypt", start, self.sim.now)
         if blocking_api and not handle.api_done.triggered:
             handle.api_done.succeed()
+        start = self.sim.now
         yield prev
+        if record is not None:
+            record.mark_stage("wire-order", start, self.sim.now)
         if staged:
             # Validated ciphertext moves private → shared DMA buffers (§6).
+            start = self.sim.now
             yield from self.machine.staging.stage(size)
+            if record is not None:
+                record.mark_stage("staging", start, self.sim.now)
+        start = self.sim.now
         yield self.sim.timeout(self.params.cc_control_latency)
+        if record is not None:
+            record.mark_stage("control", start, self.sim.now)
+        start = self.sim.now
         dma = self.machine.pcie.transfer_h2d(size, cc_path=True)
         mine.succeed()
         yield dma
+        if record is not None:
+            record.mark_stage("pcie", start, self.sim.now)
         handle.complete.succeed()
 
     def _timed_nop(self, prev: Event, mine: Event):
@@ -599,13 +621,27 @@ class PipeLLMRuntime(DeviceRuntime):
         mine.succeed()
         yield dma
 
-    def _timed_d2h_async(self, handle: TransferHandle, chunk: MemoryChunk, pending: _PendingDecrypt):
+    def _timed_d2h_async(
+        self,
+        handle: TransferHandle,
+        chunk: MemoryChunk,
+        pending: _PendingDecrypt,
+        record: Optional[RequestRecord] = None,
+    ):
         # The async memcpy returns to the app right away — the GPU-side
         # encryption runs at line rate in the copy engine and the DMA
         # is queued; §5.4 additionally defers the CPU decryption.
         self._fast_api_return(handle)
+        start = self.sim.now
         yield self.sim.timeout(self.params.cc_control_latency)
+        if record is not None:
+            record.mark_stage("control", start, self.sim.now)
+        start = self.sim.now
         yield self.machine.pcie.transfer_d2h(chunk.size, cc_path=True)
+        if record is not None:
+            # The deferred CPU decryption runs after landing, off the
+            # wire path — by design it contributes no stage here.
+            record.mark_stage("pcie", start, self.sim.now)
         handle.complete.succeed()
         # Newest-first decryption: LIFO resume wants the most recent
         # swap-out back first, so its plaintext should be ready first.
@@ -616,10 +652,25 @@ class PipeLLMRuntime(DeviceRuntime):
         if self.fault_controller.speculation_enabled:
             self.pipeline.refill(self.predictor, self._leeway())
 
-    def _timed_d2h_sync(self, handle: TransferHandle, chunk: MemoryChunk, plaintext: bytes):
+    def _timed_d2h_sync(
+        self,
+        handle: TransferHandle,
+        chunk: MemoryChunk,
+        plaintext: bytes,
+        record: Optional[RequestRecord] = None,
+    ):
+        start = self.sim.now
         yield self.sim.timeout(self.params.cc_control_latency)
+        if record is not None:
+            record.mark_stage("control", start, self.sim.now)
+        start = self.sim.now
         yield self.machine.pcie.transfer_d2h(chunk.size, cc_path=True)
+        if record is not None:
+            record.mark_stage("pcie", start, self.sim.now)
+        start = self.sim.now
         yield self.machine.engine.submit_decrypt_inline_cc(chunk.size)
+        if record is not None:
+            record.mark_stage("decrypt", start, self.sim.now)
         self.machine.host_memory.write_silent(chunk.addr, plaintext)
         handle.api_done.succeed()
         handle.complete.succeed()

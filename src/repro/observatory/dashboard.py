@@ -1,0 +1,199 @@
+"""Live ASCII dashboard over one running machine (``repro dash``).
+
+The dashboard *observes* a simulation without perturbing it: the
+serving engine's main process is started, then the kernel is advanced
+in fixed slices of simulated time and one frame is rendered per slice
+from the metrics registry and the critical-path profiler. Rendering is
+strictly read-only — a run with ``render=False`` produces the exact
+same simulation state and summary, which a test pins byte-for-byte.
+
+Wall-clock use in this module is limited to ``time.sleep`` pacing of
+the refresh loop (so a human can watch); no wall-clock value ever
+enters a metric.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..bench.systems import SystemSpec, pipellm
+from ..models import OPT_66B
+from ..serving import FlexGenConfig, FlexGenEngine
+from ..telemetry import recording
+from ..workloads import SyntheticShape
+from .profiler import CRYPTO_STAGES, TRANSFER_STAGES, profile_hub
+from .registry import MetricsRegistry, bind_machine
+
+__all__ = ["Dashboard", "DashboardRun", "run_flexgen_dashboard"]
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "." * (width - filled) + f"] {100 * fraction:5.1f}%"
+
+
+_MODE_NAMES = {0.0: "SPECULATIVE", 1.0: "PROBING", 2.0: "DEGRADED"}
+
+
+class Dashboard:
+    """Renders one machine's live state as a fixed-width ASCII frame."""
+
+    def __init__(self, machine, runtime=None, label: str = "") -> None:
+        self.machine = machine
+        self.runtime = runtime
+        self.registry = MetricsRegistry()
+        bind_machine(self.registry, machine, runtime=runtime, label=label or "dash")
+        self._label = label or "dash"
+
+    def frame(self) -> str:
+        now = self.machine.sim.now
+        snap = self.registry.snapshot(now)
+        lines = [
+            f"== repro dash · t={now * 1e3:10.3f} ms simulated ==",
+            "",
+            "utilization",
+        ]
+        for series in snap["resource_utilization"]["series"]:
+            resource = series["labels"]["resource"]
+            lines.append(f"  {resource.ljust(14)}{_bar(series['value'])}")
+
+        lines.append("")
+        lines.append("wire latency (simulated)")
+        latency = {
+            (s["labels"]["direction"], s["labels"]["quantile"]): s["value"]
+            for s in snap["wire_latency_seconds"]["series"]
+        }
+        for direction in ("h2d", "d2h"):
+            if (direction, "p50") not in latency:
+                continue
+            lines.append(
+                f"  {direction}  p50 {latency[(direction, 'p50')] * 1e6:9.1f} us"
+                f"   p95 {latency[(direction, 'p95')] * 1e6:9.1f} us"
+                f"   p99 {latency[(direction, 'p99')] * 1e6:9.1f} us"
+            )
+
+        lines.append("")
+        lines.append("speculation")
+        hit_series = snap["speculation_hit_rate"]["series"]
+        if hit_series:
+            lines.append(f"  hit-rate      {_bar(hit_series[0]['value'])}")
+        counters = {
+            s["labels"]["name"]: s["value"]
+            for s in snap["machine_counter"]["series"]
+        }
+        lines.append(
+            f"  nops {int(counters.get('runtime.nops_sent', 0))}"
+            f"   on-demand {int(counters.get('runtime.ondemand_encryptions', 0))}"
+            f"   deferred {int(counters.get('runtime.deferred', 0))}"
+            f"   auth-recoveries {int(counters.get('runtime.auth_recoveries', 0))}"
+        )
+        mode_series = snap["pipeline_mode"]["series"]
+        if mode_series:
+            mode = _MODE_NAMES.get(mode_series[0]["value"], "?")
+            lines.append(f"  pipeline mode {mode}")
+
+        lines.append("")
+        endpoint = self.machine.cpu_endpoint
+        if endpoint is not None:
+            tx = endpoint.tx_iv.current
+            rx = self.machine.gpu.endpoint.rx_iv.current
+            status = "aligned" if tx == rx else f"desync ({tx - rx:+d})"
+            lines.append(
+                f"iv audit: cpu-tx {tx}  gpu-rx {rx}  {status}"
+                f"   gpu auth failures {self.machine.gpu.auth_failures}"
+            )
+
+        hub = self.machine.telemetry
+        if hub.enabled and hub.requests:
+            profile = profile_hub(
+                hub, horizon=now,
+                enc_bandwidth=self.machine.params.enc_bandwidth_per_thread,
+            )
+            lines.append(
+                f"critical path: {profile.verdict}"
+                f"  (crypto {100 * profile.bucket_share(CRYPTO_STAGES):.0f}%"
+                f" / transfer {100 * profile.bucket_share(TRANSFER_STAGES):.0f}%"
+                f" over {len(profile.requests)} requests)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class DashboardRun:
+    """Outcome of one dashboard-observed run.
+
+    ``summary`` is a pure function of the simulation (never of
+    rendering), so render on/off must produce identical summaries.
+    """
+
+    summary: Dict[str, Any]
+    frames: List[str]
+
+
+def run_flexgen_dashboard(
+    system: Optional[SystemSpec] = None,
+    n_requests: int = 12,
+    output_len: int = 4,
+    interval_s: float = 0.05,
+    render: bool = True,
+    sink: Optional[Callable[[str], None]] = None,
+    refresh_wall_s: float = 0.0,
+    seed: int = 1,
+) -> DashboardRun:
+    """Run FlexGen OPT-66B offloading with a live dashboard attached.
+
+    ``interval_s`` is the frame period in **simulated** seconds;
+    ``refresh_wall_s`` optionally sleeps between frames so the refresh
+    is watchable in a terminal. With ``render=False`` no frame is
+    built at all — the returned summary is identical either way.
+    """
+    if system is None:
+        system = pipellm(8, 2)
+    with recording():
+        machine, runtime = system.build()
+        config = FlexGenConfig(
+            OPT_66B, SyntheticShape(32, output_len),
+            batch_size=max(1, n_requests), n_requests=n_requests, seed=seed,
+        )
+        engine = FlexGenEngine(machine, runtime, config)
+        dash = Dashboard(machine, runtime=runtime, label=system.name)
+
+        machine.sim.process(engine._main())
+        frames: List[str] = []
+        while engine.result is None:
+            machine.run(until=machine.sim.now + interval_s)
+            if render:
+                frame = dash.frame()
+                frames.append(frame)
+                if sink is not None:
+                    sink(frame)
+                if refresh_wall_s > 0.0:
+                    time.sleep(refresh_wall_s)
+        result = engine.result
+
+    profile = profile_hub(
+        machine.telemetry,
+        horizon=machine.sim.now,
+        enc_bandwidth=machine.params.enc_bandwidth_per_thread,
+    )
+    summary: Dict[str, Any] = {
+        "system": system.name,
+        "throughput_tok_s": result.throughput,
+        "elapsed_s": result.elapsed,
+        "generated_tokens": result.generated_tokens,
+        "swap_ins": result.swap_in_count,
+        "verdict": profile.verdict,
+        "requests_profiled": len(profile.requests),
+        "speculation_hit_rate": profile.speculation.hit_rate,
+        "final_sim_time_s": machine.sim.now,
+    }
+    if hasattr(runtime, "stats"):
+        stats = runtime.stats()
+        summary["success_rate"] = stats.get("success_rate", 0.0)
+        summary["nops_sent"] = stats.get("nops_sent", 0.0)
+    if render and sink is not None:
+        sink(dash.frame())
+    return DashboardRun(summary=summary, frames=frames)

@@ -29,6 +29,7 @@ from .export import (
     metrics_csv,
 )
 from .hub import (
+    EventTap,
     RequestRecord,
     TelemetryHub,
     TraceSession,
@@ -38,6 +39,7 @@ from .hub import (
 
 __all__ = [
     "ClusterEvent",
+    "EventTap",
     "FaultEvent",
     "InjectionEvent",
     "IvEvent",

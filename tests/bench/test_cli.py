@@ -51,3 +51,81 @@ class TestRun:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             run_cli()
+
+
+class TestBenchCommand:
+    def test_bench_writes_artifact_and_self_compares(self, tmp_path):
+        first = tmp_path / "BENCH_0.json"
+        code, text = run_cli(
+            "bench", "--suite", "smoke", "--out", str(first),
+            "--dir", str(tmp_path),
+        )
+        assert code == 0
+        assert first.exists()
+        assert "verdicts: cc=encryption-bound" in text
+
+        code, text = run_cli(
+            "bench", "--suite", "smoke", "--dir", str(tmp_path), "--compare",
+        )
+        assert code == 0
+        assert (tmp_path / "BENCH_1.json").exists()
+        assert "0 regressions" in text
+
+    def test_bench_candidate_compare_gates(self, tmp_path):
+        import json
+
+        code, _ = run_cli(
+            "bench", "--suite", "smoke",
+            "--out", str(tmp_path / "BENCH_0.json"), "--dir", str(tmp_path),
+        )
+        assert code == 0
+        baseline = json.loads((tmp_path / "BENCH_0.json").read_text())
+        baseline["key_metrics"]["pipellm_hit_rate"]["value"] *= 0.5
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(baseline))
+
+        code, text = run_cli(
+            "bench", "--candidate", str(worse), "--dir", str(tmp_path),
+            "--compare", str(tmp_path / "BENCH_0.json"),
+        )
+        assert code == 1
+        assert "pipellm_hit_rate" in text
+
+        code, _ = run_cli(
+            "bench", "--candidate", str(worse), "--dir", str(tmp_path),
+            "--compare", str(tmp_path / "BENCH_0.json"), "--warn-only",
+        )
+        assert code == 0
+
+
+class TestDashCommand:
+    def test_dash_json_summary(self):
+        import json
+
+        code, text = run_cli(
+            "dash", "--json", "--requests", "4", "--interval-ms", "200",
+        )
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["system"] == "PipeLLM"
+        assert summary["verdict"] == "pcie-bound"
+
+
+class TestTraceAttrib:
+    def test_waterfall_for_request(self):
+        code, text = run_cli("trace", "fig2", "--attrib", "0")
+        assert code == 0
+        assert "critical-path profile" in text
+        assert "request 0" in text
+        assert "= wire latency" in text
+
+    def test_profiles_only_when_negative(self):
+        code, text = run_cli("trace", "fig2", "--attrib", "-1")
+        assert code == 0
+        assert "critical-path profile" in text
+        assert "request " not in text
+
+    def test_missing_request_id_fails(self):
+        code, text = run_cli("trace", "fig2", "--attrib", "999999")
+        assert code == 1
+        assert "not found" in text

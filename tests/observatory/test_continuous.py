@@ -1,0 +1,139 @@
+"""Continuous bench harness: artifacts, determinism, regression gate."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.continuous import (
+    BENCH_SCHEMA_VERSION,
+    SUITES,
+    artifact_index,
+    compare_artifacts,
+    find_latest_artifact,
+    load_artifact,
+    next_artifact_path,
+    render_comparison,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_artifact():
+    return run_suite("smoke", seed=3)
+
+
+class TestArtifactSchema:
+    def test_required_fields(self, smoke_artifact):
+        a = smoke_artifact
+        assert a["schema_version"] == BENCH_SCHEMA_VERSION
+        assert a["suite"] == "smoke" and a["seed"] == 3
+        assert set(a["verdicts"]) == {"offload-cc", "offload-pipellm"}
+        for metric in a["key_metrics"].values():
+            assert set(metric) == {"value", "higher_is_better"}
+            assert isinstance(metric["value"], float)
+            assert isinstance(metric["higher_is_better"], bool)
+        assert "campaigns" in a and "wall_clock_s" in a
+
+    def test_verdicts_match_paper_regimes(self, smoke_artifact):
+        assert smoke_artifact["verdicts"]["offload-cc"] == "encryption-bound"
+        assert smoke_artifact["verdicts"]["offload-pipellm"] != "encryption-bound"
+
+    def test_artifact_is_json_serialisable(self, smoke_artifact, tmp_path):
+        path = tmp_path / "BENCH_0.json"
+        path.write_text(json.dumps(smoke_artifact, indent=2, sort_keys=True))
+        assert load_artifact(path) == smoke_artifact
+
+    def test_wrong_schema_version_rejected(self, smoke_artifact, tmp_path):
+        bad = dict(smoke_artifact, schema_version=BENCH_SCHEMA_VERSION + 1)
+        path = tmp_path / "BENCH_9.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ValueError):
+            load_artifact(path)
+
+
+class TestDeterminism:
+    def test_same_seed_zero_regression(self, smoke_artifact):
+        again = run_suite("smoke", seed=3)
+        diff = compare_artifacts(smoke_artifact, again)
+        assert diff["regressions"] == []
+        assert diff["improvements"] == []
+        assert len(diff["unchanged"]) == len(smoke_artifact["key_metrics"])
+        for entry in diff["unchanged"]:
+            assert entry["change"] == 0.0
+
+
+class TestComparator:
+    def perturb(self, artifact, metric, factor):
+        mutated = copy.deepcopy(artifact)
+        mutated["key_metrics"][metric]["value"] *= factor
+        return mutated
+
+    def test_higher_is_better_drop_is_regression(self, smoke_artifact):
+        worse = self.perturb(
+            smoke_artifact, "offload_pipellm_throughput_tok_s", 0.9
+        )
+        diff = compare_artifacts(smoke_artifact, worse)
+        assert [r["metric"] for r in diff["regressions"]] == [
+            "offload_pipellm_throughput_tok_s"
+        ]
+
+    def test_lower_is_better_rise_is_regression(self, smoke_artifact):
+        worse = self.perturb(smoke_artifact, "pipellm_p99_wire_s", 1.1)
+        diff = compare_artifacts(smoke_artifact, worse)
+        assert [r["metric"] for r in diff["regressions"]] == ["pipellm_p99_wire_s"]
+
+    def test_within_tolerance_is_not_regression(self, smoke_artifact):
+        slightly = self.perturb(
+            smoke_artifact, "offload_pipellm_throughput_tok_s", 0.97
+        )
+        diff = compare_artifacts(smoke_artifact, slightly, tolerance=0.05)
+        assert diff["regressions"] == []
+
+    def test_improvement_is_reported_not_gated(self, smoke_artifact):
+        better = self.perturb(
+            smoke_artifact, "offload_pipellm_throughput_tok_s", 1.2
+        )
+        diff = compare_artifacts(smoke_artifact, better)
+        assert diff["regressions"] == []
+        assert [r["metric"] for r in diff["improvements"]] == [
+            "offload_pipellm_throughput_tok_s"
+        ]
+
+    def test_verdict_flip_is_a_regression(self, smoke_artifact):
+        flipped = copy.deepcopy(smoke_artifact)
+        flipped["verdicts"]["offload-pipellm"] = "encryption-bound"
+        diff = compare_artifacts(smoke_artifact, flipped)
+        assert any(
+            r["metric"] == "verdict:offload-pipellm" for r in diff["regressions"]
+        )
+
+    def test_render_comparison_mentions_every_regression(self, smoke_artifact):
+        worse = self.perturb(smoke_artifact, "pipellm_hit_rate", 0.5)
+        text = render_comparison(compare_artifacts(smoke_artifact, worse))
+        assert "pipellm_hit_rate" in text
+        assert "1 regressions" in text
+
+    def test_wall_clock_never_gated(self, smoke_artifact):
+        mutated = copy.deepcopy(smoke_artifact)
+        mutated["wall_clock_s"] = smoke_artifact.get("wall_clock_s", 0.0) + 1e6
+        diff = compare_artifacts(smoke_artifact, mutated)
+        assert diff["regressions"] == []
+
+
+class TestArtifactNumbering:
+    def test_next_and_latest(self, tmp_path):
+        assert find_latest_artifact(tmp_path) is None
+        assert next_artifact_path(tmp_path).name == "BENCH_0.json"
+        (tmp_path / "BENCH_0.json").write_text("{}")
+        (tmp_path / "BENCH_2.json").write_text("{}")
+        (tmp_path / "not-an-artifact.json").write_text("{}")
+        assert next_artifact_path(tmp_path).name == "BENCH_3.json"
+        assert find_latest_artifact(tmp_path).name == "BENCH_2.json"
+        assert find_latest_artifact(tmp_path, below=2).name == "BENCH_0.json"
+        assert artifact_index(Path("BENCH_17.json")) == 17
+
+    def test_suites_registry(self):
+        assert {"standard", "smoke"} <= set(SUITES)
+        assert SUITES["smoke"].flexgen_requests < SUITES["standard"].flexgen_requests

@@ -1,0 +1,60 @@
+"""Dashboard: panel content and render-on/off non-perturbation."""
+
+from repro.bench import CC, pipellm
+from repro.observatory.dashboard import run_flexgen_dashboard
+
+
+def run(render, **kw):
+    kw.setdefault("system", pipellm(8, 2))
+    kw.setdefault("n_requests", 6)
+    kw.setdefault("interval_s", 0.2)
+    kw.setdefault("seed", 5)
+    return run_flexgen_dashboard(render=render, **kw)
+
+
+class TestNonPerturbation:
+    def test_summary_identical_with_and_without_rendering(self):
+        """Observing the simulation must not change it (same seed)."""
+        rendered = run(render=True)
+        blind = run(render=False)
+        assert rendered.summary == blind.summary
+        assert rendered.frames and blind.frames == []
+
+    def test_rendering_twice_is_stable(self):
+        assert run(render=True).summary == run(render=True).summary
+
+
+class TestPanels:
+    def test_frame_has_every_required_panel(self):
+        frames = run(render=True).frames
+        last = frames[-1]
+        assert "utilization" in last
+        assert "crypto-engine" in last and "pcie" in last and "gpu" in last
+        assert "wire latency" in last
+        assert "p50" in last and "p95" in last and "p99" in last
+        assert "speculation" in last and "hit-rate" in last
+        assert "pipeline mode SPECULATIVE" in last
+        assert "iv audit" in last and "aligned" in last
+        assert "critical path:" in last
+
+    def test_cc_baseline_reaches_encryption_bound(self):
+        result = run(render=True, system=CC)
+        assert result.summary["verdict"] == "encryption-bound"
+        assert "critical path: encryption-bound" in result.frames[-1]
+
+    def test_summary_fields(self):
+        summary = run(render=False).summary
+        for key in (
+            "system", "throughput_tok_s", "verdict", "requests_profiled",
+            "speculation_hit_rate", "final_sim_time_s",
+        ):
+            assert key in summary
+        assert summary["system"] == "PipeLLM"
+        assert summary["requests_profiled"] > 0
+        assert 0.0 < summary["speculation_hit_rate"] <= 1.0
+
+    def test_sink_receives_frames(self):
+        received = []
+        result = run(render=True, sink=received.append)
+        # The sink gets every loop frame plus one final frame.
+        assert len(received) == len(result.frames) + 1

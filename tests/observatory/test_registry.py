@@ -1,0 +1,151 @@
+"""Metrics registry: families, exposition, snapshot, collectors."""
+
+import pytest
+
+from repro.bench import CC, pipellm, run_flexgen
+from repro.models import OPT_66B
+from repro.observatory import MetricsRegistry, bind_machine
+from repro.telemetry import recording
+from repro.workloads import SyntheticShape
+
+
+class TestFamilies:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("requests_total", "served requests")
+        requests.inc()
+        requests.inc(2)
+        assert requests.value == 3
+        depth = registry.gauge("queue_depth")
+        depth.set(7)
+        assert depth.value == 7
+
+    def test_register_is_idempotent_per_kind(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits")
+        assert registry.counter("hits") is first
+        with pytest.raises(ValueError):
+            registry.gauge("hits")
+
+    def test_labelled_children_are_distinct(self):
+        registry = MetricsRegistry()
+        family = registry.counter("bytes_total", labels=("direction",))
+        family.labels("h2d").inc(10)
+        family.labels(direction="d2h").inc(4)
+        assert family.labels("h2d").value == 10
+        assert family.labels("d2h").value == 4
+        with pytest.raises(ValueError):
+            family.labels("h2d", "extra")
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram(
+            "latency_seconds", buckets=(0.001, 0.01, 0.1)
+        )
+        for value in (0.0005, 0.005, 0.05, 0.5):
+            latency.observe(value)
+        child = latency.labels()
+        assert child.counts == [1, 2, 3]
+        assert child.total == 4
+        assert child.sum == pytest.approx(0.5555)
+        with pytest.raises(ValueError):
+            registry.histogram("no_buckets")
+
+
+class TestExposition:
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry(namespace="repro")
+        registry.counter("hits", "cache hits").inc(3)
+        family = registry.gauge("util", labels=("resource",))
+        family.labels("pcie").set(0.5)
+        registry.histogram("lat", buckets=(0.1,)).observe(0.05)
+        text = registry.exposition(horizon=1.0)
+        assert "# HELP repro_hits cache hits" in text
+        assert "# TYPE repro_hits counter" in text
+        assert "repro_hits 3" in text
+        assert 'repro_util{resource="pcie"} 0.5' in text
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_sum 0.05" in text
+        assert "repro_lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_snapshot_mirrors_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.histogram("lat", buckets=(0.1,)).observe(0.05)
+        snap = registry.snapshot(horizon=1.0)
+        assert snap["hits"]["kind"] == "counter"
+        assert snap["hits"]["series"] == [{"labels": {}, "value": 3.0}]
+        assert snap["lat"]["series"][0]["count"] == 1
+        assert snap["lat"]["series"][0]["buckets"] == {"0.1": 1}
+
+
+class TestCollectors:
+    def test_collector_runs_at_scrape_with_horizon(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("sim_time")
+        seen = []
+
+        def collector(horizon):
+            seen.append(horizon)
+            gauge.set(horizon)
+
+        registry.register_collector(collector)
+        snap = registry.snapshot(horizon=2.5)
+        assert seen == [2.5]
+        assert snap["sim_time"]["series"][0]["value"] == 2.5
+        registry.exposition(horizon=3.0)
+        assert seen == [2.5, 3.0]
+
+
+class TestBindMachine:
+    def run_bound(self, system):
+        with recording():
+            result, runtime = run_flexgen(
+                system, OPT_66B, SyntheticShape(32, 4), batch_size=8, n_requests=8
+            )
+            machine = runtime.machine
+            registry = MetricsRegistry()
+            bind_machine(registry, machine, runtime=runtime, label=system.name)
+            return registry.snapshot(machine.sim.now)
+
+    def test_cc_machine_exposes_stack_metrics(self):
+        snap = self.run_bound(CC)
+        resources = {
+            s["labels"]["resource"]: s["value"]
+            for s in snap["resource_utilization"]["series"]
+        }
+        assert set(resources) >= {"pcie", "crypto-engine", "gpu"}
+        assert all(0.0 <= v <= 1.0 for v in resources.values())
+        assert resources["crypto-engine"] > 0.0
+        quantiles = {
+            (s["labels"]["direction"], s["labels"]["quantile"])
+            for s in snap["wire_latency_seconds"]["series"]
+        }
+        assert ("h2d", "p50") in quantiles and ("h2d", "p99") in quantiles
+
+    def test_pipellm_machine_exposes_speculation(self):
+        snap = self.run_bound(pipellm(8, 2))
+        hit = snap["speculation_hit_rate"]["series"]
+        assert hit and 0.0 < hit[0]["value"] <= 1.0
+        mode = snap["pipeline_mode"]["series"]
+        assert mode and mode[0]["value"] == 0.0  # SPECULATIVE
+        counters = {
+            s["labels"]["name"] for s in snap["machine_counter"]["series"]
+        }
+        assert any(name.startswith("runtime.") for name in counters)
+
+    def test_exposition_is_valid_over_real_machine(self):
+        with recording():
+            result, runtime = run_flexgen(
+                pipellm(8, 2), OPT_66B, SyntheticShape(32, 4),
+                batch_size=4, n_requests=4,
+            )
+            machine = runtime.machine
+            registry = MetricsRegistry()
+            bind_machine(registry, machine, runtime=runtime)
+            text = registry.exposition(machine.sim.now)
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or " " in line
+        assert "repro_resource_utilization" in text
