@@ -34,6 +34,7 @@ from .continuous import (
     run_suite,
 )
 from .faults import FULL_FAULT_RATES, QUICK_FAULT_RATES, fault_campaign
+from .parallel import FULL_GPU_COUNTS, QUICK_GPU_COUNTS, parallel_scaling
 from .systems import CC, SystemSpec, WITHOUT_CC, cc_threads, pipellm, pipellm_zero
 from .claims import CLAIMS, Claim, ClaimOutcome, verify_claims
 from .cluster import cluster_scaling
@@ -64,6 +65,9 @@ __all__ = [
     "fault_campaign",
     "FULL_FAULT_RATES",
     "QUICK_FAULT_RATES",
+    "FULL_GPU_COUNTS",
+    "QUICK_GPU_COUNTS",
+    "parallel_scaling",
     "ExperimentResult",
     "FULL",
     "QUICK",

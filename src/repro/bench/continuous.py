@@ -25,8 +25,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..cluster import run_cluster
 from ..core import ClusterConfig
-from ..models import OPT_66B
+from ..models import OPT_30B, OPT_66B
 from ..observatory import profile_hub
+from ..parallel import TensorParallelEngine
 from ..sim import default_seed, set_default_seed
 from ..telemetry import recording
 from ..workloads import SyntheticShape
@@ -38,6 +39,7 @@ from .experiments import (
     run_flexgen,
 )
 from .faults import _ADAPTIVE, _run_once
+from .parallel import _SYSTEMS, _build as _parallel_build
 from .systems import CC, WITHOUT_CC, pipellm
 
 __all__ = [
@@ -71,6 +73,9 @@ class SuiteScale:
     cluster_duration: float
     cluster_tenants: int
     fig2_transfers: int
+    parallel_gpus: int
+    parallel_batch: int
+    parallel_tokens: int
 
 
 SUITES: Dict[str, SuiteScale] = {
@@ -78,11 +83,13 @@ SUITES: Dict[str, SuiteScale] = {
         name="standard", flexgen_requests=48, flexgen_output=8,
         cluster_rate=4.0, cluster_duration=10.0, cluster_tenants=4,
         fig2_transfers=64,
+        parallel_gpus=2, parallel_batch=64, parallel_tokens=3,
     ),
     "smoke": SuiteScale(
         name="smoke", flexgen_requests=16, flexgen_output=4,
         cluster_rate=3.0, cluster_duration=5.0, cluster_tenants=3,
         fig2_transfers=32,
+        parallel_gpus=2, parallel_batch=32, parallel_tokens=2,
     ),
 }
 
@@ -192,6 +199,34 @@ def _faults_campaign(suite: SuiteScale) -> Dict[str, Any]:
     }
 
 
+def _parallel_campaign(suite: SuiteScale) -> Dict[str, Any]:
+    """Multi-GPU TP decode across the three systems (one GPU count)."""
+    runs = {}
+    audit = None
+    for system in _SYSTEMS:
+        machine, system_audit = _parallel_build(system, suite.parallel_gpus)
+        engine = TensorParallelEngine(
+            machine, OPT_30B, batch=suite.parallel_batch, label=system
+        )
+        runs[system] = engine.run(output_tokens=suite.parallel_tokens)
+        if system == "PipeLLM":
+            audit = system_audit
+    nocc, cc, pipe = (runs[s] for s in _SYSTEMS)
+    gap = nocc.throughput - cc.throughput
+    return {
+        "n_gpus": suite.parallel_gpus,
+        "nocc_throughput_tok_s": nocc.throughput,
+        "cc_throughput_tok_s": cc.throughput,
+        "pipellm_throughput_tok_s": pipe.throughput,
+        "recovery": (pipe.throughput - cc.throughput) / gap if gap > 0 else 0.0,
+        "hit_rate": pipe.spec_hit_rate,
+        "hops": pipe.hops,
+        "bounce_bytes": pipe.bounce_bytes,
+        "iv_observed": audit.observed if audit is not None else 0,
+        "checksum": pipe.checksum,
+    }
+
+
 def run_suite(
     suite: str = "standard",
     seed: int = 1,
@@ -219,6 +254,10 @@ def run_suite(
             "offload-pipellm": _profiled_flexgen(pipe, scale, seed),
             "cluster": _cluster_campaign(scale, default_seed(seed)),
             "faults": _faults_campaign(scale),
+            # Appended last: earlier campaigns' RNG draws are
+            # unperturbed, so their metrics match pre-parallel artifacts
+            # bit for bit.
+            "parallel": _parallel_campaign(scale),
         }
     finally:
         set_default_seed(previous_seed)
@@ -249,6 +288,17 @@ def run_suite(
         "cluster_throughput_req_s": _key(cl["throughput_req_s"], True),
         "cluster_p99_latency_s": _key(cl["p99_latency_s"], False),
         "faults_storm_throughput_tok_s": _key(fl["storm_throughput_tok_s"], True),
+        "parallel_nocc_tok_s": _key(
+            campaigns["parallel"]["nocc_throughput_tok_s"], True
+        ),
+        "parallel_cc_tok_s": _key(
+            campaigns["parallel"]["cc_throughput_tok_s"], True
+        ),
+        "parallel_pipellm_tok_s": _key(
+            campaigns["parallel"]["pipellm_throughput_tok_s"], True
+        ),
+        "parallel_recovery": _key(campaigns["parallel"]["recovery"], True),
+        "parallel_hit_rate": _key(campaigns["parallel"]["hit_rate"], True),
     }
 
     return {

@@ -19,8 +19,17 @@ from ..crypto import (
     SecureSession,
     SessionEndpoint,
     SessionHandshake,
+    derive_link_session,
 )
-from ..hw import CryptoEngine, DmaStaging, GpuEnclave, HardwareParams, HostMemory, default_params
+from ..hw import (
+    CryptoEngine,
+    DmaStaging,
+    GpuEnclave,
+    HardwareParams,
+    HostMemory,
+    Interconnect,
+    default_params,
+)
 from ..sim import MetricSet, Simulator
 from ..sim.tracing import SpanTracer
 from ..hw.pcie import PcieLink
@@ -52,7 +61,10 @@ class Machine:
         session: Optional[SecureSession] = None,
         sim: Optional[Simulator] = None,
         faults=None,
+        n_gpus: int = 1,
     ) -> None:
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
         self.params = params or default_params()
         self.cc_mode = cc_mode
         #: A cluster runs many machines inside one shared simulator so
@@ -99,7 +111,39 @@ class Machine:
         if cc_mode is CcMode.ENABLED:
             session = session or SecureSession(key)
             self.cpu_endpoint, gpu_endpoint = session.endpoints()
-        self.gpu = GpuEnclave(self.sim, self.params, endpoint=gpu_endpoint)
+        self.session = session
+        #: One enclave per GPU. GPU 0 keeps the machine's primary
+        #: session (and the legacy ``machine.gpu`` name); each extra
+        #: GPU gets its own host channel whose session is HKDF-chained
+        #: off the primary key, so no two device channels share IVs.
+        self.gpus = [GpuEnclave(self.sim, self.params, endpoint=gpu_endpoint)]
+        self.host_endpoints: list = [self.cpu_endpoint]
+        for index in range(1, n_gpus):
+            cpu_ep: Optional[SessionEndpoint] = None
+            gpu_ep: Optional[SessionEndpoint] = None
+            if cc_mode is CcMode.ENABLED:
+                gpu_session = derive_link_session(session.key, f"h2d:gpu{index}")
+                cpu_ep, gpu_ep = gpu_session.endpoints(
+                    cpu_name=f"cpu{index}", gpu_name=f"gpu{index}"
+                )
+            self.host_endpoints.append(cpu_ep)
+            self.gpus.append(
+                GpuEnclave(self.sim, self.params, endpoint=gpu_ep, lane=f"gpu{index}")
+            )
+        self.gpu = self.gpus[0]
+        #: The inter-GPU fabric; None on single-GPU machines.
+        self.interconnect: Optional[Interconnect] = None
+        if n_gpus > 1:
+            self.interconnect = Interconnect(
+                self.sim,
+                self.params,
+                self.gpus,
+                cc_enabled=cc_mode is CcMode.ENABLED,
+                root_key=session.key if session is not None else None,
+                engine=self.engine,
+                faults=faults,
+                telemetry=self.telemetry,
+            )
 
     @property
     def cc_enabled(self) -> bool:
@@ -116,6 +160,7 @@ def build_machine(
     enc_threads: int = 1,
     dec_threads: int = 1,
     faults=None,
+    n_gpus: int = 1,
 ) -> Machine:
     """Convenience factory mirroring the paper's three configurations.
 
@@ -127,7 +172,7 @@ def build_machine(
       :class:`repro.core.runtime.PipeLLMRuntime`.
     """
     return Machine(cc_mode, params=params, enc_threads=enc_threads,
-                   dec_threads=dec_threads, faults=faults)
+                   dec_threads=dec_threads, faults=faults, n_gpus=n_gpus)
 
 
 def build_attested_machine(
@@ -139,6 +184,7 @@ def build_attested_machine(
     device_seed: bytes = b"h100-device-seed",
     sim: Optional[Simulator] = None,
     faults=None,
+    n_gpus: int = 1,
 ) -> Machine:
     """Full CC bring-up: handshake, attestation, then the machine.
 
@@ -168,4 +214,5 @@ def build_attested_machine(
         session=session,
         sim=sim,
         faults=faults,
+        n_gpus=n_gpus,
     )

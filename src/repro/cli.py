@@ -44,6 +44,7 @@ from .bench import (
     attribution_breakdown,
     cluster_scaling,
     fault_campaign,
+    parallel_scaling,
     verify_claims,
     extension_layerwise_fifo,
     extension_zero_offload,
@@ -81,6 +82,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext-zero": extension_zero_offload,
     "cluster": cluster_scaling,
     "faults": fault_campaign,
+    "parallel": parallel_scaling,
     "attrib": attribution_breakdown,
 }
 
@@ -151,6 +153,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="emit the result rows as JSON")
     faults.add_argument("--seed", type=int, default=None, metavar="N",
                         help="override the fault and workload RNG seeds")
+
+    par = sub.add_parser(
+        "parallel",
+        help="multi-GPU scaling campaign over the encrypted interconnect",
+    )
+    par.add_argument("--scale", choices=("quick", "full"), default="quick")
+    par.add_argument("--json", action="store_true",
+                     help="emit the result rows as JSON")
+    par.add_argument("--seed", type=int, default=None, metavar="N",
+                     help="override every workload generator's RNG seed")
 
     trace = sub.add_parser(
         "trace", help="run one experiment with telemetry on and export the trace"
@@ -451,6 +463,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 0
     if args.command == "faults":
         _run_one("faults", args.scale, out, as_json=args.json)
+        return 0
+    if args.command == "parallel":
+        _run_one("parallel", args.scale, out, as_json=args.json)
         return 0
     if args.command == "trace":
         return _run_trace(args, out)

@@ -76,6 +76,16 @@ class ClusterIvAudit:
         """Distinct (key, stream) lanes observed so far."""
         return len(self._last)
 
+    def lanes(self) -> Dict[Tuple[str, str], int]:
+        """Snapshot of every lane's last consumed IV.
+
+        Interconnect links register four lanes per directed link (the
+        copy-engine and host ends of the up and down sessions); the
+        stream names carry the link label, so a test can assert exactly
+        which fabric lanes moved and that each moved monotonically.
+        """
+        return dict(self._last)
+
 
 class TenantChannel:
     """One attested secure session between a tenant and one replica.

@@ -8,7 +8,13 @@ from .attestation import (
     GpuDevice,
     RootOfTrust,
 )
-from .handshake import DhKeyPair, HandshakeMessage, SessionHandshake, hkdf
+from .handshake import (
+    DhKeyPair,
+    HandshakeMessage,
+    SessionHandshake,
+    derive_link_session,
+    hkdf,
+)
 from .gcm import AesGcm, AuthenticationError, TAG_SIZE, iv_from_counter
 from .ivstream import IvExhaustedError, IvStream
 from .session import EncryptedMessage, SecureSession, SessionEndpoint, tamper_tag
@@ -23,6 +29,7 @@ __all__ = [
     "HandshakeMessage",
     "RootOfTrust",
     "SessionHandshake",
+    "derive_link_session",
     "hkdf",
     "AesGcm",
     "AuthenticationError",

@@ -30,7 +30,13 @@ from dataclasses import dataclass
 
 from .session import SecureSession
 
-__all__ = ["DhKeyPair", "HandshakeMessage", "SessionHandshake", "hkdf"]
+__all__ = [
+    "DhKeyPair",
+    "HandshakeMessage",
+    "SessionHandshake",
+    "derive_link_session",
+    "hkdf",
+]
 
 # RFC 3526, group 14 (2048-bit MODP).
 _P = int(
@@ -65,6 +71,33 @@ def hkdf(secret: bytes, salt: bytes, info: bytes, length: int) -> bytes:
         blocks.append(previous)
         counter += 1
     return b"".join(blocks)[:length]
+
+
+def derive_link_session(root_key: bytes, link: str) -> SecureSession:
+    """Derive one inter-GPU link's :class:`SecureSession` from a root key.
+
+    Multi-GPU machines need an independent AES-GCM key and IV pair per
+    *directed link leg* (GPU→bounce-buffer and bounce-buffer→GPU are
+    separate channels with separate counters). All of them chain off
+    the machine's session key via HKDF with a per-link info string, so
+
+    * two legs (or two links) never share a (key, IV) space, and
+    * both ends of the handshake derive identical link keys without
+      any additional message exchange — exactly how SPDM secondary
+      sessions are keyed off the primary session secret.
+
+    ``link`` is a stable label such as ``"link:0->1:up"``.
+    """
+    okm = hkdf(
+        root_key,
+        salt=b"pipellm-interconnect",
+        info=b"cc-link:" + link.encode(),
+        length=16 + 8,
+    )
+    key = okm[:16]
+    h2d_iv = 1 + int.from_bytes(okm[16:20], "big") % (1 << 32)
+    d2h_iv = 1 + int.from_bytes(okm[20:24], "big") % (1 << 32)
+    return SecureSession(key, h2d_start_iv=h2d_iv, d2h_start_iv=d2h_iv)
 
 
 @dataclass(frozen=True)
@@ -153,3 +186,13 @@ class SessionHandshake:
         """Finish the handshake: a session with synchronized IVs."""
         key, h2d_iv, d2h_iv = self.derive(peer)
         return SecureSession(key, h2d_start_iv=h2d_iv, d2h_start_iv=d2h_iv)
+
+    def complete_link(self, peer: HandshakeMessage, link: str) -> SecureSession:
+        """Derive one inter-GPU link's session from this handshake.
+
+        Both sides compute the same link key because both chain the
+        same HKDF off the handshake-derived session key — no extra
+        round trip per link (see :func:`derive_link_session`).
+        """
+        key, _, _ = self.derive(peer)
+        return derive_link_session(key, link)

@@ -121,13 +121,19 @@ class SecureSession:
         self.h2d_start_iv = h2d_start_iv
         self.d2h_start_iv = d2h_start_iv
 
-    def endpoints(self) -> Tuple[SessionEndpoint, SessionEndpoint]:
-        """Return the (cpu, gpu) endpoint pair with synchronized IVs."""
+    def endpoints(
+        self, cpu_name: str = "cpu", gpu_name: str = "gpu"
+    ) -> Tuple[SessionEndpoint, SessionEndpoint]:
+        """Return the (cpu, gpu) endpoint pair with synchronized IVs.
+
+        Names feed the endpoints' IV-stream labels; multi-GPU machines
+        pass per-link names so audit lanes stay distinguishable.
+        """
         cpu = SessionEndpoint(
-            "cpu", self.key, tx_start_iv=self.h2d_start_iv, rx_start_iv=self.d2h_start_iv
+            cpu_name, self.key, tx_start_iv=self.h2d_start_iv, rx_start_iv=self.d2h_start_iv
         )
         gpu = SessionEndpoint(
-            "gpu", self.key, tx_start_iv=self.d2h_start_iv, rx_start_iv=self.h2d_start_iv
+            gpu_name, self.key, tx_start_iv=self.d2h_start_iv, rx_start_iv=self.h2d_start_iv
         )
         return cpu, gpu
 

@@ -51,7 +51,9 @@ class FaultInjector:
         root = SeededRng(self.seed).fork(f"faults:{plan.name}")
         self._rng: Dict[str, SeededRng] = {
             domain: root.fork(domain)
-            for domain in ("pcie", "engine", "crypto", "validator", "cluster")
+            for domain in (
+                "pcie", "engine", "crypto", "validator", "cluster", "interconnect",
+            )
         }
         self.sim: Optional[Simulator] = None
         self.telemetry: Optional[TelemetryHub] = None
@@ -181,6 +183,37 @@ class FaultInjector:
             return False
         if self._rng["validator"].random() < self.plan.mispredict_rate:
             self._fire("validator", "mispredict")
+            return True
+        return False
+
+    # -- interconnect ----------------------------------------------------
+
+    def link_drop(self, link: str) -> bool:
+        """Should this inter-GPU hop leg transiently fail (replay)?"""
+        if not self._live() or self.plan.link_drop_rate <= 0.0:
+            return False
+        if self._rng["interconnect"].random() < self.plan.link_drop_rate:
+            self._fire("interconnect", "link-drop", link)
+            return True
+        return False
+
+    def link_jitter(self, link: str) -> float:
+        """Extra latency (seconds) for this hop leg; 0 = clean."""
+        if not self._live() or self.plan.link_jitter_rate <= 0.0:
+            return 0.0
+        rng = self._rng["interconnect"]
+        if rng.random() < self.plan.link_jitter_rate:
+            jitter = rng.uniform(0.0, self.plan.link_jitter_s)
+            self._fire("interconnect", "link-jitter", link)
+            return jitter
+        return 0.0
+
+    def link_mispredict(self, link: str) -> bool:
+        """Should this speculated link hop be forced into a miss?"""
+        if not self._live() or self.plan.link_mispredict_rate <= 0.0:
+            return False
+        if self._rng["interconnect"].random() < self.plan.link_mispredict_rate:
+            self._fire("interconnect", "link-mispredict", link)
             return True
         return False
 

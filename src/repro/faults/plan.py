@@ -28,6 +28,9 @@ _RATE_FIELDS = (
     "tag_corrupt_rate",
     "iv_desync_rate",
     "mispredict_rate",
+    "link_jitter_rate",
+    "link_drop_rate",
+    "link_mispredict_rate",
 )
 
 
@@ -73,6 +76,19 @@ class FaultPlan:
     #: modeling a wrong sequence prediction.
     mispredict_rate: float = 0.0
 
+    # -- interconnect (hw/interconnect.py) ------------------------------
+    #: Probability one inter-GPU hop leg picks up extra latency
+    #: (bounce-buffer congestion, copy-engine contention).
+    link_jitter_rate: float = 0.0
+    #: Maximum extra latency per jittered hop leg; the draw is uniform
+    #: in (0, link_jitter_s].
+    link_jitter_s: float = 20e-6
+    #: Probability one hop leg transiently fails and must be replayed.
+    link_drop_rate: float = 0.0
+    #: Probability one speculated link hop is forced into a miss,
+    #: modeling a wrong collective-schedule prediction.
+    link_mispredict_rate: float = 0.0
+
     # -- cluster (repro.cluster) ----------------------------------------
     #: Poisson rate of replica crashes (crashes per simulated second).
     replica_crash_rate: float = 0.0
@@ -84,7 +100,7 @@ class FaultPlan:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability, got {value!r}")
-        if self.pcie_jitter_s < 0 or self.engine_stall_s < 0:
+        if self.pcie_jitter_s < 0 or self.engine_stall_s < 0 or self.link_jitter_s < 0:
             raise ValueError("fault durations must be non-negative")
         if self.engine_slowdown < 1.0:
             raise ValueError("engine_slowdown must be >= 1.0")
@@ -128,4 +144,23 @@ class FaultPlan:
             mispredict_rate=rate,
             iv_desync_rate=rate / 4.0,
             tag_corrupt_rate=rate / 4.0,
+        )
+
+    @classmethod
+    def link_storm(cls, rate: float, start: float = 0.0,
+                   stop: Optional[float] = None) -> "FaultPlan":
+        """An inter-GPU link storm at ``rate`` (the parallel campaign shape).
+
+        ``rate`` drives forced link mispredictions; jitter and drops
+        ride along at reduced rates so the interconnect's replay path
+        is exercised while misses stay the dominant signal for the
+        degradation controller.
+        """
+        return cls(
+            name=f"link-storm-{rate:g}",
+            start=start,
+            stop=stop,
+            link_mispredict_rate=rate,
+            link_jitter_rate=rate / 2.0,
+            link_drop_rate=rate / 4.0,
         )

@@ -3,6 +3,7 @@
 from .dma import DmaStaging
 from .engine import CryptoEngine
 from .gpu import GpuEnclave, GpuOutOfMemory
+from .interconnect import Interconnect, LinkRecord
 from .memory import AccessViolation, HostMemory, MemoryChunk, PageFault, Region
 from .params import GB, KB, MB, GpuComputeParams, HardwareParams, default_params
 from .pcie import BusRecord, PcieLink
@@ -18,7 +19,9 @@ __all__ = [
     "GpuOutOfMemory",
     "HardwareParams",
     "HostMemory",
+    "Interconnect",
     "KB",
+    "LinkRecord",
     "MB",
     "MemoryChunk",
     "PageFault",

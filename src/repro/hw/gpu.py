@@ -38,10 +38,12 @@ class GpuEnclave:
         sim: Simulator,
         params: HardwareParams,
         endpoint: Optional[SessionEndpoint] = None,
+        lane: str = "gpu",
     ) -> None:
         self.sim = sim
         self.params = params
         self.endpoint = endpoint  # None when CC is disabled.
+        self.lane = lane  # Tracer lane; "gpu1", "gpu2", ... on multi-GPU machines.
         self.capacity = params.gpu_memory_bytes
         self.used = 0
         self._allocations: Dict[str, int] = {}
@@ -116,6 +118,11 @@ class GpuEnclave:
         """Inspect device memory contents (tests / examples)."""
         return self._contents.get(tag)
 
+    def store_plaintext(self, tag: str, payload: bytes) -> None:
+        """Place plaintext directly in device memory (kernel output, or
+        an interconnect delivery that already paid its crypto cost)."""
+        self._contents[tag] = payload
+
     # -- compute roofline -----------------------------------------------------
 
     def compute_time(self, flops: float, bytes_touched: float, layers: int = 1) -> float:
@@ -137,5 +144,5 @@ class GpuEnclave:
         finish = start + duration
         self.busy_until = finish
         self.compute_seconds += duration
-        self.sim.tracer.record("gpu", "compute", start, finish)
+        self.sim.tracer.record(self.lane, "compute", start, finish)
         return self.sim.timeout(finish - self.sim.now)

@@ -60,6 +60,14 @@ class HardwareParams:
     #: Time for the async CUDA memcpy API to *return* without CC (s).
     api_latency_ncc: float = 1.4e-6
 
+    # ---- Inter-GPU interconnect (CC disabled) ---------------------------
+    #: Per-direction peer-to-peer bandwidth between GPUs (B/s). NVLink
+    #: class — far above PCIe, which is why forbidding P2P under CC
+    #: ("the serialized bridge") hurts so much.
+    p2p_bandwidth: float = 160e9
+    #: Fixed latency per P2P hop (s).
+    p2p_latency: float = 2.0e-6
+
     # ---- Confidential-computing channel ---------------------------------
     #: CC control-plane latency floor per transfer (s).
     cc_control_latency: float = 14.9e-6
@@ -136,6 +144,10 @@ class HardwareParams:
     def cc_dma_time(self, nbytes: int) -> float:
         """DMA time of a pre-encrypted chunk over the CC-mode path."""
         return self.dma_overhead + nbytes / self.cc_dma_bandwidth
+
+    def p2p_time(self, nbytes: int) -> float:
+        """One direct GPU-to-GPU hop (CC disabled only)."""
+        return self.p2p_latency + nbytes / self.p2p_bandwidth
 
     def with_overrides(self, **kwargs) -> "HardwareParams":
         """Return a copy with selected fields replaced."""

@@ -55,6 +55,7 @@ STAGES: Tuple[str, ...] = (
     "staging",
     "control",
     "pcie",
+    "interconnect",
     "decrypt",
     "gateway",
     "other",
@@ -64,7 +65,7 @@ STAGES: Tuple[str, ...] = (
 #: CPU AES-GCM waits; transfer stages are everything that moves or
 #: orders bytes on the CPU↔GPU wire.
 CRYPTO_STAGES = ("encrypt", "decrypt")
-TRANSFER_STAGES = ("wire-order", "staging", "control", "pcie")
+TRANSFER_STAGES = ("wire-order", "staging", "control", "pcie", "interconnect")
 
 
 @dataclass

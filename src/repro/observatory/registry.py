@@ -299,6 +299,11 @@ def bind_machine(
         "Staged-service fraction of validated swap-ins",
         labels=("machine",),
     )
+    link_hit_rate = registry.gauge(
+        "interconnect_hit_rate",
+        "Staged-hop fraction of speculated link transfers",
+        labels=("machine",),
+    )
 
     def collect(horizon: float) -> None:
         if horizon > 0:
@@ -315,6 +320,12 @@ def bind_machine(
             util.labels(label, "gpu").set(
                 min(1.0, machine.gpu.compute_seconds / horizon)
             )
+            fabric = getattr(machine, "interconnect", None)
+            if fabric is not None:
+                for pipe in fabric.pipes():
+                    util.labels(label, pipe.name).set(
+                        min(1.0, pipe.busy_time() / horizon)
+                    )
         for name, counter in machine.metrics.counters.items():
             counters.labels(label, name).set(float(counter.value))
         for direction in ("h2d", "d2h"):
@@ -331,6 +342,9 @@ def bind_machine(
             )
         if runtime is not None and hasattr(runtime, "validator"):
             hit_rate.labels(label).set(runtime.validator.success_rate)
+        fabric = getattr(machine, "interconnect", None)
+        if fabric is not None and (fabric.spec_hits or fabric.spec_misses):
+            link_hit_rate.labels(label).set(fabric.hit_rate())
 
     registry.register_collector(collect)
 

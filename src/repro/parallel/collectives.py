@@ -1,0 +1,198 @@
+"""Collective communication primitives over the encrypted interconnect.
+
+Implements the deterministic schedules multi-GPU inference lives on —
+point-to-point ``send``, ring ``all_reduce`` (reduce-scatter followed
+by all-gather, the bandwidth-optimal schedule every NCCL-like library
+uses) and ring ``all_gather`` — on top of
+:class:`repro.hw.interconnect.Interconnect`.
+
+Collectives are *functional*: values are vectors of Python ints,
+encoded big-endian (8 bytes, signed) so every hop ships real bytes
+through the per-link AES-GCM sessions and the reduced result can be
+checked against the arithmetic sum exactly. Timing follows the
+*logical* tensor size (``nbytes``), passed separately, since a few
+stand-in ints model a multi-megabyte activation.
+
+Every ring step launches all of its hops concurrently and barriers on
+the step (``all_of``), exactly like a synchronous collective kernel:
+the step takes as long as its slowest link, and under CC the hops
+contend for the host's crypto pools — the serialized-bridge collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim import Event
+
+__all__ = ["Communicator", "ParallelResult", "decode_ints", "encode_ints"]
+
+_INT_BYTES = 8
+
+
+def encode_ints(values: List[int]) -> bytes:
+    """Big-endian 8-byte signed encoding (the wire format of a vector)."""
+    return b"".join(
+        int(v).to_bytes(_INT_BYTES, "big", signed=True) for v in values
+    )
+
+
+def decode_ints(payload: bytes) -> List[int]:
+    if len(payload) % _INT_BYTES:
+        raise ValueError("payload is not a whole number of encoded ints")
+    return [
+        int.from_bytes(payload[i : i + _INT_BYTES], "big", signed=True)
+        for i in range(0, len(payload), _INT_BYTES)
+    ]
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of one parallel-engine run (TP or PP)."""
+
+    mode: str
+    system: str
+    n_gpus: int
+    tokens: int
+    elapsed_s: float
+    #: Hex digest over every reduced/delivered value, in schedule
+    #: order — bit-identical across same-seed runs.
+    checksum: str
+    hops: int
+    p2p_bytes: int
+    bounce_bytes: int
+    spec_hit_rate: float
+
+    @property
+    def throughput(self) -> float:
+        """Tokens per simulated second."""
+        return self.tokens / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+class Communicator:
+    """Collective schedules for one machine's GPUs."""
+
+    def __init__(self, machine) -> None:
+        if machine.interconnect is None:
+            raise ValueError("Communicator requires a multi-GPU machine")
+        self.machine = machine
+        self.sim = machine.sim
+        self.interconnect = machine.interconnect
+        self.n = len(machine.gpus)
+        self.steps = 0
+
+    # -- point to point --------------------------------------------------
+
+    def send(self, src: int, dst: int, values: List[int], nbytes: int = 0,
+             tag: str = "", collective: str = "send") -> Event:
+        """Ship a vector from ``src`` to ``dst``; event value = the
+        delivered vector."""
+        done = self.interconnect.transfer(
+            src, dst, encode_ints(values), nbytes=nbytes or len(values) * _INT_BYTES,
+            tag=tag, collective=collective,
+        )
+        return self.sim.process(self._decode_after(done))
+
+    def _decode_after(self, done: Event):
+        payload = yield done
+        return decode_ints(payload)
+
+    # -- ring all-reduce -------------------------------------------------
+
+    def all_reduce(self, vectors: List[List[int]], nbytes: int,
+                   collective: str = "all_reduce") -> Event:
+        """Elementwise-sum ``vectors`` (one per GPU) across the ring.
+
+        The completion event's value is the per-GPU result list; all
+        entries equal the arithmetic sum. ``nbytes`` is the logical
+        tensor size; each of the 2·(N−1) ring steps moves one segment
+        (``nbytes / N``) per GPU concurrently.
+        """
+        return self.sim.process(self._all_reduce(vectors, nbytes, collective))
+
+    def _all_reduce(self, vectors: List[List[int]], nbytes: int, collective: str):
+        n = self.n
+        if len(vectors) != n:
+            raise ValueError("need exactly one vector per GPU")
+        length = len(vectors[0])
+        if any(len(v) != length for v in vectors):
+            raise ValueError("vectors must have equal length")
+        work = [list(v) for v in vectors]
+        if n == 1:
+            return work
+        bounds = [i * length // n for i in range(n + 1)]
+        seg_nbytes = max(1, nbytes // n)
+
+        # Reduce-scatter: after step s, GPU (i+1) holds the partial sum
+        # of segment (i−s) over s+1 contributors; after N−1 steps GPU i
+        # owns the fully reduced segment (i+1) mod N.
+        for step in range(n - 1):
+            hops = []
+            for i in range(n):
+                seg = (i - step) % n
+                dst = (i + 1) % n
+                data = work[i][bounds[seg]:bounds[seg + 1]]
+                done = self.interconnect.transfer(
+                    i, dst, encode_ints(data), nbytes=seg_nbytes, collective=collective,
+                )
+                hops.append((dst, seg, done))
+            yield self.sim.all_of([done for _, _, done in hops])
+            self.steps += 1
+            for dst, seg, done in hops:
+                arrived = decode_ints(done.value)
+                base = bounds[seg]
+                for offset, value in enumerate(arrived):
+                    work[dst][base + offset] += value
+
+        # All-gather: circulate each fully reduced segment around the
+        # ring so every GPU ends with the complete sum.
+        for step in range(n - 1):
+            hops = []
+            for i in range(n):
+                seg = (i + 1 - step) % n
+                dst = (i + 1) % n
+                data = work[i][bounds[seg]:bounds[seg + 1]]
+                done = self.interconnect.transfer(
+                    i, dst, encode_ints(data), nbytes=seg_nbytes, collective=collective,
+                )
+                hops.append((dst, seg, done))
+            yield self.sim.all_of([done for _, _, done in hops])
+            self.steps += 1
+            for dst, seg, done in hops:
+                work[dst][bounds[seg]:bounds[seg + 1]] = decode_ints(done.value)
+        return work
+
+    # -- ring all-gather -------------------------------------------------
+
+    def all_gather(self, blocks: List[List[int]], nbytes: int,
+                   collective: str = "all_gather") -> Event:
+        """Collect every GPU's block on every GPU (ring schedule).
+
+        The event's value is a per-GPU list of the N blocks in GPU
+        order. ``nbytes`` is the logical size of ONE block.
+        """
+        return self.sim.process(self._all_gather(blocks, nbytes, collective))
+
+    def _all_gather(self, blocks: List[List[int]], nbytes: int, collective: str):
+        n = self.n
+        if len(blocks) != n:
+            raise ValueError("need exactly one block per GPU")
+        out: List[List[List[int]]] = [
+            [list(blocks[j]) if j == i else [] for j in range(n)] for i in range(n)
+        ]
+        for step in range(n - 1):
+            hops = []
+            for i in range(n):
+                block = (i - step) % n
+                dst = (i + 1) % n
+                done = self.interconnect.transfer(
+                    i, dst, encode_ints(out[i][block]),
+                    nbytes=max(1, nbytes), collective=collective,
+                )
+                hops.append((dst, block, done))
+            yield self.sim.all_of([done for _, _, done in hops])
+            self.steps += 1
+            for dst, block, done in hops:
+                out[dst][block] = decode_ints(done.value)
+        return out

@@ -16,6 +16,7 @@ from .events import (
     FaultEvent,
     InjectionEvent,
     IvEvent,
+    LinkEvent,
     RecoveryEvent,
     SpeculationEvent,
     TelemetryEvent,
@@ -43,6 +44,7 @@ __all__ = [
     "FaultEvent",
     "InjectionEvent",
     "IvEvent",
+    "LinkEvent",
     "RecoveryEvent",
     "RequestRecord",
     "SpeculationEvent",

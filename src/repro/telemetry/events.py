@@ -35,6 +35,7 @@ __all__ = [
     "InjectionEvent",
     "RecoveryEvent",
     "ClusterEvent",
+    "LinkEvent",
 ]
 
 
@@ -108,9 +109,11 @@ class InjectionEvent(TelemetryEvent):
     """The fault plane injected one fault (:mod:`repro.faults`)."""
 
     #: "pcie" | "engine" | "crypto" | "validator" | "cluster"
+    #: | "interconnect"
     domain: str
     #: "pcie-drop" | "pcie-jitter" | "engine-stall" | "tag-corrupt"
-    #: | "iv-desync" | "mispredict" | "replica-crash"
+    #: | "iv-desync" | "mispredict" | "replica-crash" | "link-drop"
+    #: | "link-jitter" | "link-mispredict"
     action: str
     detail: str = ""
 
@@ -145,3 +148,25 @@ class ClusterEvent(TelemetryEvent):
     request_id: int = -1
     #: Shed reason, crash epoch, routing policy note, etc.
     detail: str = ""
+
+
+@dataclass(frozen=True)
+class LinkEvent(TelemetryEvent):
+    """One inter-GPU hop crossed the interconnect.
+
+    ``mode`` says which physical route it took: direct peer-to-peer
+    ("p2p", CC disabled) or the CPU bounce buffer ("bounce", CC
+    enabled). ``strategy`` records how the bounce crypto was paid:
+    inline serialization ("serialized"), a speculative pre-arranged
+    IV schedule ("staged"), or a speculation miss that fell back to
+    the serialized path ("miss").
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    #: "p2p" | "bounce"
+    mode: str
+    #: "" (p2p) | "serialized" | "staged" | "miss"
+    strategy: str = ""
+    collective: str = ""

@@ -52,6 +52,11 @@ class TestReplay:
         first, second = twice("faults", "--seed", "7", "--json")
         assert first == second
 
+    @pytest.mark.slow
+    def test_parallel_campaign_replays_identically(self):
+        first, second = twice("parallel", "--seed", "13", "--json")
+        assert first == second
+
     def test_telemetry_event_stream_replays_identically(self):
         # The full Chrome trace — every event, timestamp, and lane —
         # must replay, not just the aggregate rows.
