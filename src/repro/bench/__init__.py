@@ -39,6 +39,7 @@ from .systems import CC, SystemSpec, WITHOUT_CC, cc_threads, pipellm, pipellm_ze
 from .claims import CLAIMS, Claim, ClaimOutcome, verify_claims
 from .cluster import cluster_scaling
 from .extensions import extension_layerwise_fifo, extension_zero_offload
+from .serve import serve_frontier
 from .teeio import TEEIO_LINE_RATE, extension_teeio_scaling, teeio_params
 from .tables import ExperimentResult
 
@@ -68,6 +69,7 @@ __all__ = [
     "FULL_GPU_COUNTS",
     "QUICK_GPU_COUNTS",
     "parallel_scaling",
+    "serve_frontier",
     "ExperimentResult",
     "FULL",
     "QUICK",

@@ -3,7 +3,8 @@
 Runs a pinned-seed suite over the repo's standing campaigns — the
 Fig. 2 microbenchmark, FlexGen offloading under CC and PipeLLM (with
 full critical-path attribution from :mod:`repro.observatory`), the
-multi-replica cluster, and a fault storm — and writes one
+multi-replica cluster, a fault storm, multi-GPU parallel decode and
+the online-serving front end — and writes one
 schema-versioned ``BENCH_<n>.json`` artifact per run: throughput,
 per-stage attribution, speculation stats, bottleneck verdicts and
 wall-clock.
@@ -76,6 +77,10 @@ class SuiteScale:
     parallel_gpus: int
     parallel_batch: int
     parallel_tokens: int
+    # Online-serving campaign (appended fields keep older call sites
+    # positional-compatible).
+    serve_rate: float = 24.0
+    serve_duration: float = 5.0
 
 
 SUITES: Dict[str, SuiteScale] = {
@@ -84,12 +89,14 @@ SUITES: Dict[str, SuiteScale] = {
         cluster_rate=4.0, cluster_duration=10.0, cluster_tenants=4,
         fig2_transfers=64,
         parallel_gpus=2, parallel_batch=64, parallel_tokens=3,
+        serve_rate=24.0, serve_duration=5.0,
     ),
     "smoke": SuiteScale(
         name="smoke", flexgen_requests=16, flexgen_output=4,
         cluster_rate=3.0, cluster_duration=5.0, cluster_tenants=3,
         fig2_transfers=32,
         parallel_gpus=2, parallel_batch=32, parallel_tokens=2,
+        serve_rate=16.0, serve_duration=3.0,
     ),
 }
 
@@ -227,6 +234,41 @@ def _parallel_campaign(suite: SuiteScale) -> Dict[str, Any]:
     }
 
 
+def _serve_campaign(suite: SuiteScale) -> Dict[str, Any]:
+    """Online-serving front end: CC vs PipeLLM at one offered load."""
+    from ..serve import LoadSpec, SloSpec, run_serve
+    from ..workloads import SHAREGPT_SERVE
+    from .serve import SERVE_MAX_OUTSTANDING, SERVE_RESERVE_BYTES
+
+    out: Dict[str, Any] = {
+        "rate_rps": suite.serve_rate,
+        "duration_s": suite.serve_duration,
+    }
+    for system in ("cc", "pipellm"):
+        config = ClusterConfig(
+            replicas=2, system=system, policy="least-loaded",
+            reserve_bytes=SERVE_RESERVE_BYTES,
+            max_outstanding=SERVE_MAX_OUTSTANDING,
+        )
+        load = LoadSpec(
+            trace=SHAREGPT_SERVE, rate=suite.serve_rate,
+            duration=suite.serve_duration,
+        )
+        run = run_serve(config, load, slo=SloSpec(), admission="slo")
+        out[system] = {
+            "offered": run.offered,
+            "completed": run.completed,
+            "shed": run.shed,
+            "attainment": run.attainment,
+            "goodput_rps": run.goodput,
+            "p99_ttft_s": run.p99_ttft,
+            "mean_tpot_s": run.mean_tpot,
+            "swap_outs": run.swap_outs,
+            "auth_failures": run.auth_failures,
+        }
+    return out
+
+
 def run_suite(
     suite: str = "standard",
     seed: int = 1,
@@ -258,6 +300,9 @@ def run_suite(
             # unperturbed, so their metrics match pre-parallel artifacts
             # bit for bit.
             "parallel": _parallel_campaign(scale),
+            # Same rule again: serve runs after everything above so all
+            # pre-existing campaign metrics stay bit-identical.
+            "serve": _serve_campaign(scale),
         }
     finally:
         set_default_seed(previous_seed)
@@ -299,6 +344,18 @@ def run_suite(
         ),
         "parallel_recovery": _key(campaigns["parallel"]["recovery"], True),
         "parallel_hit_rate": _key(campaigns["parallel"]["hit_rate"], True),
+        "serve_pipellm_goodput_rps": _key(
+            campaigns["serve"]["pipellm"]["goodput_rps"], True
+        ),
+        "serve_pipellm_attainment": _key(
+            campaigns["serve"]["pipellm"]["attainment"], True
+        ),
+        "serve_pipellm_p99_ttft_s": _key(
+            campaigns["serve"]["pipellm"]["p99_ttft_s"], False
+        ),
+        "serve_cc_goodput_rps": _key(
+            campaigns["serve"]["cc"]["goodput_rps"], True
+        ),
     }
 
     return {

@@ -16,6 +16,10 @@ Commands:
 * ``cluster [--replicas N --policy P --fail-at T]`` — serve a
   multi-tenant Poisson workload on N confidential replicas behind the
   encrypted-session gateway and print the throughput/latency summary.
+* ``serve [--rate RPS]`` — the online-serving front end: without
+  ``--rate``, sweep the latency-vs-offered-load frontier per system ×
+  admission policy; with ``--rate``, one OpenAI-style streaming run
+  with per-request TTFT/TPOT and SLO accounting.
 * ``bench [--suite standard|smoke] [--out F] [--compare [BASE]]`` —
   the continuous benchmark harness: run the pinned-seed suite, write a
   schema-versioned ``BENCH_<n>.json`` artifact, and/or diff two
@@ -23,11 +27,12 @@ Commands:
 * ``dash`` — live ASCII dashboard over a FlexGen offloading run:
   utilization bars, latency percentiles, speculation hit-rate,
   IV-audit status and the degradation mode, refreshed from simulated
-  time.
+  time. ``--serve`` drives an online serving run over the cluster
+  instead, adding the TTFT/TPOT panel.
 
-``run``, ``all``, ``trace``, ``cluster``, ``bench`` and ``dash``
-accept ``--seed N`` to override every workload generator's RNG seed
-process-wide.
+``run``, ``all``, ``trace``, ``cluster``, ``serve``, ``bench`` and
+``dash`` accept ``--seed N`` to override every workload generator's
+RNG seed process-wide.
 """
 
 from __future__ import annotations
@@ -60,6 +65,7 @@ from .bench import (
     fig7_model_offloading,
     fig8_kv_swapping,
     fig9_threading,
+    serve_frontier,
 )
 
 __all__ = ["EXPERIMENTS", "main"]
@@ -81,6 +87,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext-layerwise": extension_layerwise_fifo,
     "ext-zero": extension_zero_offload,
     "cluster": cluster_scaling,
+    "serve": serve_frontier,
     "faults": fault_campaign,
     "parallel": parallel_scaling,
     "attrib": attribution_breakdown,
@@ -143,6 +150,31 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=None, metavar="N")
     cluster.add_argument("--json", action="store_true",
                          help="emit the run summary as JSON")
+
+    serve = sub.add_parser(
+        "serve", help="online-serving front end over the confidential cluster"
+    )
+    serve.add_argument("--rate", type=float, default=None, metavar="RPS",
+                       help="offered load for one streaming run (omit to "
+                            "sweep the full frontier)")
+    serve.add_argument("--scale", choices=("quick", "full"), default="quick",
+                       help="frontier sweep size (ignored with --rate)")
+    serve.add_argument("--duration", type=float, default=5.0, metavar="S",
+                       help="arrival window for a single run (simulated s)")
+    serve.add_argument("--system", choices=("pipellm", "cc", "native"),
+                       default="pipellm", help="per-replica runtime")
+    serve.add_argument("--admission", choices=("slo", "fifo"), default="slo",
+                       help="admission policy in front of the gateway")
+    serve.add_argument("--trace", choices=("sharegpt", "alpaca"),
+                       default="sharegpt", help="length distribution preset")
+    serve.add_argument("--replicas", type=int, default=2, metavar="N")
+    serve.add_argument("--tenants", type=int, default=4, metavar="N")
+    serve.add_argument("--fail-at", type=float, default=None, metavar="T",
+                       help="crash one replica at simulated time T")
+    serve.add_argument("--recover-after", type=float, default=5.0, metavar="S")
+    serve.add_argument("--seed", type=int, default=None, metavar="N")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the run summary (or frontier rows) as JSON")
 
     faults = sub.add_parser(
         "faults",
@@ -210,9 +242,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="emit the comparison (or artifact) as JSON")
 
     dash = sub.add_parser(
-        "dash", help="live ASCII dashboard over a FlexGen offloading run"
+        "dash", help="live ASCII dashboard over a FlexGen offloading run "
+                     "(or, with --serve, an online-serving run)"
     )
     dash.add_argument("--system", choices=("pipellm", "cc"), default="pipellm")
+    dash.add_argument("--serve", action="store_true",
+                      help="dashboard an online-serving run over the "
+                           "confidential cluster (TTFT/TPOT line)")
+    dash.add_argument("--rate", type=float, default=10.0, metavar="RPS",
+                      help="offered load for --serve")
+    dash.add_argument("--duration", type=float, default=4.0, metavar="S",
+                      help="arrival window for --serve (simulated seconds)")
     dash.add_argument("--requests", type=int, default=12, metavar="N")
     dash.add_argument("--interval-ms", type=float, default=50.0,
                       help="frame period in simulated milliseconds")
@@ -345,7 +385,21 @@ def _run_bench(args, out) -> int:
 
 
 def _run_dash(args, out) -> int:
-    from .observatory.dashboard import run_flexgen_dashboard
+    from .observatory.dashboard import run_flexgen_dashboard, run_serve_dashboard
+
+    if args.serve:
+        run = run_serve_dashboard(
+            rate=args.rate,
+            duration=args.duration,
+            system=args.system,
+            interval_s=max(args.interval_ms / 1e3, 1e-4),
+            render=not args.json,
+            sink=None if args.json else (lambda frame: print(frame + "\n", file=out)),
+            refresh_wall_s=args.refresh_s,
+            seed=args.seed if args.seed is not None else 1,
+        )
+        print(json.dumps(run.summary, indent=2, sort_keys=True), file=out)
+        return 0
 
     if args.system == "pipellm":
         from .bench import pipellm
@@ -420,6 +474,63 @@ def _run_cluster(args, out) -> int:
     return 0
 
 
+def _run_serve(args, out) -> int:
+    if args.rate is None:
+        _run_one("serve", args.scale, out, as_json=args.json)
+        return 0
+
+    from .bench.serve import SERVE_MAX_OUTSTANDING, SERVE_RESERVE_BYTES
+    from .core import ClusterConfig
+    from .serve import LoadSpec, run_serve
+    from .workloads import ALPACA_SERVE, SHAREGPT_SERVE
+
+    trace = SHAREGPT_SERVE if args.trace == "sharegpt" else ALPACA_SERVE
+    config = ClusterConfig(
+        replicas=args.replicas,
+        system=args.system,
+        policy="least-loaded",
+        reserve_bytes=SERVE_RESERVE_BYTES,
+        max_outstanding=SERVE_MAX_OUTSTANDING,
+        fail_at=args.fail_at,
+        recover_after=args.recover_after,
+    )
+    load = LoadSpec(
+        trace=trace, rate=args.rate, duration=args.duration,
+        tenants=args.tenants,
+    )
+    start = time.time()
+    result = run_serve(config, load, admission=args.admission)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True), file=out)
+        return 0
+    print(
+        f"serve: {args.replicas} replicas ({args.system}), "
+        f"admission={result.admission}, trace={result.trace}, "
+        f"rate={args.rate:g} req/s", file=out,
+    )
+    shed = " ".join(
+        f"{reason}={count}"
+        for reason, count in sorted(result.shed_by_reason.items())
+    ) or "none"
+    rows = [
+        ("offered / completed / shed",
+         f"{result.offered} / {result.completed} / {result.shed}"),
+        ("shed reasons", shed),
+        ("SLO attainment", f"{result.attainment * 100:.0f}%"),
+        ("goodput", f"{result.goodput:.2f} req/s"),
+        ("TTFT p50 / p99",
+         f"{result.p50_ttft * 1e3:.1f} ms / {result.p99_ttft * 1e3:.1f} ms"),
+        ("TPOT mean", f"{result.mean_tpot * 1e3:.2f} ms"),
+        ("swap-outs / failovers / auth failures",
+         f"{result.swap_outs} / {result.failovers} / {result.auth_failures}"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"  {label.ljust(width)}  {value}", file=out)
+    print(f"[serve: {time.time() - start:.1f}s]", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
@@ -471,6 +582,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _run_trace(args, out)
     if args.command == "cluster":
         return _run_cluster(args, out)
+    if args.command == "serve":
+        return _run_serve(args, out)
     if args.command == "bench":
         return _run_bench(args, out)
     if args.command == "dash":

@@ -66,6 +66,13 @@ class Gateway:
         if session is not None:
             session.register(self.telemetry)
 
+        #: Optional duck-typed observer of the request lifecycle (the
+        #: online-serving front end). Hooks: ``on_token(creq, replica,
+        #: index)``, ``on_complete(creq)``, ``on_shed(creq, reason)``,
+        #: ``on_requeue(creq)``. Every call site is a no-op when the
+        #: listener is unset, so plain cluster runs are unperturbed.
+        self.listener = None
+
         self.queue: Deque[ClusterRequest] = deque()
         #: (tenant, replica_id, epoch) -> live secure session.
         self._channels: Dict[Tuple[str, int, int], TenantChannel] = {}
@@ -111,6 +118,8 @@ class Gateway:
         self.metrics.counter("cluster.gateway.shed").add()
         self.metrics.counter(f"cluster.gateway.shed.{reason}").add()
         self._emit("shed", creq, detail=reason)
+        if self.listener is not None:
+            self.listener.on_shed(creq, reason)
 
     # -- dispatch --------------------------------------------------------
 
@@ -197,9 +206,20 @@ class Gateway:
         self.queue.appendleft(creq)
         self._record_depth()
         self.sim.process(self._watchdog(creq))
+        if self.listener is not None:
+            self.listener.on_requeue(creq)
         self._kick()
 
     # -- replica callbacks -----------------------------------------------
+
+    def on_token(self, creq: ClusterRequest, replica: Replica, index: int) -> None:
+        """A replica decoded one token of ``creq`` (1-based ``index``).
+
+        Pure notification for the serving front end's token streaming;
+        the gateway itself keeps no per-token state.
+        """
+        if self.listener is not None:
+            self.listener.on_token(creq, replica, index)
 
     def on_complete(self, creq: ClusterRequest, replica: Replica) -> None:
         """A replica finished ``creq``: return the encrypted response."""
@@ -220,6 +240,8 @@ class Gateway:
             self.metrics.counter(f"cluster.tenant.{creq.tenant}.slo_ok").add()
         self._emit("complete", creq, replica=replica.replica_id,
                    detail=f"latency={creq.latency:.3f}s")
+        if self.listener is not None:
+            self.listener.on_complete(creq)
         self._kick()
 
     def on_reject(self, creq: ClusterRequest, replica: Replica, reason: str) -> None:

@@ -426,6 +426,7 @@ class Replica:
         for served in self.running:
             group = served.group
             group.generated += 1
+            self.gateway.on_token(served.creq, self, group.generated)
             if group.done:
                 group.state = GroupState.FINISHED
                 group.finish_time = now

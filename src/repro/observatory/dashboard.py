@@ -24,9 +24,14 @@ from ..serving import FlexGenConfig, FlexGenEngine
 from ..telemetry import recording
 from ..workloads import SyntheticShape
 from .profiler import CRYPTO_STAGES, TRANSFER_STAGES, profile_hub
-from .registry import MetricsRegistry, bind_machine
+from .registry import MetricsRegistry, bind_gateway, bind_machine
 
-__all__ = ["Dashboard", "DashboardRun", "run_flexgen_dashboard"]
+__all__ = [
+    "Dashboard",
+    "DashboardRun",
+    "run_flexgen_dashboard",
+    "run_serve_dashboard",
+]
 
 
 def _bar(fraction: float, width: int = 24) -> str:
@@ -41,11 +46,13 @@ _MODE_NAMES = {0.0: "SPECULATIVE", 1.0: "PROBING", 2.0: "DEGRADED"}
 class Dashboard:
     """Renders one machine's live state as a fixed-width ASCII frame."""
 
-    def __init__(self, machine, runtime=None, label: str = "") -> None:
+    def __init__(self, machine, runtime=None, label: str = "", gateway=None) -> None:
         self.machine = machine
         self.runtime = runtime
         self.registry = MetricsRegistry()
         bind_machine(self.registry, machine, runtime=runtime, label=label or "dash")
+        if gateway is not None:
+            bind_gateway(self.registry, gateway)
         self._label = label or "dash"
 
     def frame(self) -> str:
@@ -94,6 +101,32 @@ class Dashboard:
         if mode_series:
             mode = _MODE_NAMES.get(mode_series[0]["value"], "?")
             lines.append(f"  pipeline mode {mode}")
+
+        serve = snap.get("serve_latency_seconds", {}).get("series", [])
+        if serve:
+            quantiles = {
+                (s["labels"]["metric"], s["labels"]["quantile"]): s["value"]
+                for s in serve
+            }
+            gateway_counters = {
+                s["labels"]["name"]: s["value"]
+                for s in snap.get("gateway_counter", {}).get("series", [])
+            }
+            lines.append("")
+            lines.append("serving (TTFT / TPOT)")
+            for metric in ("ttft", "tpot"):
+                if (metric, "p50") not in quantiles:
+                    continue
+                lines.append(
+                    f"  {metric}  p50 {quantiles[(metric, 'p50')] * 1e3:8.2f} ms"
+                    f"   p95 {quantiles[(metric, 'p95')] * 1e3:8.2f} ms"
+                    f"   p99 {quantiles[(metric, 'p99')] * 1e3:8.2f} ms"
+                )
+            lines.append(
+                f"  completed {int(gateway_counters.get('serve.completed', 0))}"
+                f"   slo-ok {int(gateway_counters.get('serve.slo_attained', 0))}"
+                f"   shed {int(gateway_counters.get('serve.shed', 0))}"
+            )
 
         lines.append("")
         endpoint = self.machine.cpu_endpoint
@@ -194,6 +227,74 @@ def run_flexgen_dashboard(
         stats = runtime.stats()
         summary["success_rate"] = stats.get("success_rate", 0.0)
         summary["nops_sent"] = stats.get("nops_sent", 0.0)
+    if render and sink is not None:
+        sink(dash.frame())
+    return DashboardRun(summary=summary, frames=frames)
+
+
+def run_serve_dashboard(
+    rate: float = 10.0,
+    duration: float = 4.0,
+    system: str = "pipellm",
+    interval_s: float = 0.25,
+    render: bool = True,
+    sink: Optional[Callable[[str], None]] = None,
+    refresh_wall_s: float = 0.0,
+    seed: int = 1,
+) -> DashboardRun:
+    """Online-serving run with a live dashboard over the gateway.
+
+    Frames render replica 0's machine plus the gateway's serving
+    plane: TTFT/TPOT p50/p95/p99 from the metrics registry and the
+    completed / SLO-attained / shed counters. Same contract as the
+    FlexGen dashboard: rendering is read-only, so ``render=False``
+    yields an identical summary.
+    """
+    from ..bench.serve import SERVE_MAX_OUTSTANDING, SERVE_RESERVE_BYTES
+    from ..cluster import Cluster
+    from ..core import ClusterConfig
+    from ..serve import LoadSpec, ServeFrontend, generate_load
+
+    with recording():
+        config = ClusterConfig(
+            replicas=2,
+            system=system,
+            policy="least-loaded",
+            reserve_bytes=SERVE_RESERVE_BYTES,
+            max_outstanding=SERVE_MAX_OUTSTANDING,
+        )
+        cluster = Cluster(config)
+        frontend = ServeFrontend(cluster)
+        load = LoadSpec(rate=rate, duration=duration, seed=seed)
+        requests = generate_load(load)
+        replica = cluster.replicas[0]
+        dash = Dashboard(
+            replica.machine, runtime=replica.runtime,
+            label=f"serve-{system}", gateway=cluster.gateway,
+        )
+
+        cluster.sim.process(frontend._arrivals(
+            sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        ))
+        frames: List[str] = []
+        while len(frontend.responses) < len(requests):
+            before = cluster.sim.now
+            cluster.sim.run(until=cluster.sim.now + interval_s)
+            if render:
+                frame = dash.frame()
+                frames.append(frame)
+                if sink is not None:
+                    sink(frame)
+                if refresh_wall_s > 0.0:
+                    time.sleep(refresh_wall_s)
+            if cluster.sim.now == before:
+                break  # drained without resolving everything — bug guard
+        result = frontend.result(duration)
+        result.trace = load.trace.name
+        result.rate = load.rate
+
+    summary = result.as_dict()
+    summary["final_sim_time_s"] = cluster.sim.now
     if render and sink is not None:
         sink(dash.frame())
     return DashboardRun(summary=summary, frames=frames)

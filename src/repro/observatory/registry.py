@@ -349,8 +349,18 @@ def bind_machine(
     registry.register_collector(collect)
 
 
+#: Histogram bounds for per-request serving latencies (seconds): spans
+#: sub-millisecond cache hits up to deep saturation.
+_SERVE_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
 def bind_gateway(registry: MetricsRegistry, gateway, audit=None) -> None:
-    """Register the cluster plane: gateway counters, queue depth, IV audit."""
+    """Register the cluster plane: gateway counters, queue depth, IV
+    audit — and, when a serving front end runs on this gateway, the
+    per-request TTFT/TPOT latency distributions (p50/p95/p99 quantile
+    gauges plus Prometheus histograms)."""
     counters = registry.gauge(
         "gateway_counter",
         "Mirror of the gateway's MetricSet counters",
@@ -362,6 +372,21 @@ def bind_gateway(registry: MetricsRegistry, gateway, audit=None) -> None:
         "Cluster IV-audit progress",
         labels=("field",),
     )
+    serve_quantiles = registry.gauge(
+        "serve_latency_seconds",
+        "Per-request serving latency percentiles (TTFT / TPOT)",
+        labels=("metric", "quantile"),
+    )
+    serve_hist = registry.histogram(
+        "serve_latency_hist_seconds",
+        "Per-request serving latency distributions (TTFT / TPOT)",
+        labels=("metric",),
+        buckets=_SERVE_BUCKETS,
+    )
+    #: Samples already mirrored into the histogram, per metric —
+    #: histogram children are cumulative, so each scrape observes only
+    #: the LatencyStat samples that arrived since the last one.
+    seen: Dict[str, int] = {"ttft": 0, "tpot": 0}
 
     def collect(horizon: float) -> None:
         for name, counter in gateway.metrics.counters.items():
@@ -372,5 +397,15 @@ def bind_gateway(registry: MetricsRegistry, gateway, audit=None) -> None:
         if audit is not None:
             audit_gauge.labels("observed").set(float(audit.observed))
             audit_gauge.labels("keys").set(float(audit.keys_seen()))
+        for metric in ("ttft", "tpot"):
+            stat = gateway.metrics.latencies.get(f"serve.{metric}_s")
+            if stat is None or not stat.count:
+                continue
+            for q in (50, 95, 99):
+                serve_quantiles.labels(metric, f"p{q}").set(stat.p(q))
+            child = serve_hist.labels(metric)
+            for sample in stat.samples[seen[metric]:]:
+                child.observe(sample)
+            seen[metric] = len(stat.samples)
 
     registry.register_collector(collect)

@@ -1,0 +1,61 @@
+"""Online serving front end over the confidential cluster.
+
+The last layer of the stack: an OpenAI-style request/response surface
+(:mod:`~repro.serve.api`), trace-driven open-loop load generation
+(:mod:`~repro.serve.load`), SLO-aware admission control
+(:mod:`~repro.serve.admission`), and the :class:`ServeFrontend` that
+wires them onto :class:`repro.cluster.Gateway` with per-token
+streaming telemetry. :mod:`~repro.serve.pipeline` generalizes the
+surface over the offline engines.
+"""
+
+from .admission import (
+    AdmissionPolicy,
+    FifoAdmission,
+    SloAdmission,
+    SloSpec,
+    make_admission,
+)
+from .api import (
+    TIERS,
+    CompletionRequest,
+    CompletionResponse,
+    StreamChunk,
+    Usage,
+)
+from .frontend import ServeFrontend, ServeResult, run_serve
+from .load import DEFAULT_TIER_MIX, LoadSpec, generate_load, production_rate
+from .pipeline import (
+    ClusterPipeline,
+    FlexGenPipeline,
+    PeftPipeline,
+    ServingPipeline,
+    VllmPipeline,
+    make_pipeline,
+)
+
+__all__ = [
+    "TIERS",
+    "DEFAULT_TIER_MIX",
+    "AdmissionPolicy",
+    "ClusterPipeline",
+    "CompletionRequest",
+    "CompletionResponse",
+    "FifoAdmission",
+    "FlexGenPipeline",
+    "LoadSpec",
+    "PeftPipeline",
+    "ServeFrontend",
+    "ServeResult",
+    "ServingPipeline",
+    "SloAdmission",
+    "SloSpec",
+    "StreamChunk",
+    "Usage",
+    "VllmPipeline",
+    "generate_load",
+    "make_admission",
+    "make_pipeline",
+    "production_rate",
+    "run_serve",
+]

@@ -1,0 +1,235 @@
+"""SLO-aware admission control in front of the gateway.
+
+The gateway's own admission queue is a bounded FIFO — correct for a
+single-tenant fleet, but a production front end wants more: latency
+*targets* (TTFT/TPOT), priority tiers, and deadline-aware shedding so
+a request that can no longer meet its target is dropped before it
+wastes GPU time. This module supplies that layer as a pluggable
+policy the :class:`~repro.serve.frontend.ServeFrontend` consults.
+
+Admission state machine (per request)::
+
+    arrive ── offer ──► ADMITTED ──► gateway (queue/dispatch/...)
+                │
+                ├─────► HELD ───── release ──► ADMITTED
+                │         │
+                │         ├── deadline passed ──► SHED("deadline")
+                │         └── displaced by a better tier when the
+                │             hold queue is full ──► SHED("overload")
+                └─────► SHED("overload")   (offered into a full queue
+                                            at the worst tier)
+
+:class:`FifoAdmission` admits everything immediately (the gateway's
+capacity/timeout shedding still applies), reproducing the plain
+cluster behaviour. :class:`SloAdmission` caps the number of requests
+in flight at the fleet's outstanding budget and holds the rest in a
+priority queue ordered (tier, arrival), so interactive traffic
+overtakes batch at the front end — the reordering the gateway's FIFO
+cannot do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .api import TIERS, CompletionRequest
+
+__all__ = ["AdmissionPolicy", "FifoAdmission", "SloAdmission", "SloSpec",
+           "make_admission"]
+
+#: Per-tier SLO slack multipliers: interactive requests get the raw
+#: target, batch traffic four times it.
+_TIER_SLACK = {"interactive": 1.0, "standard": 2.0, "batch": 4.0}
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Latency targets the service advertises.
+
+    ``ttft_target_s`` / ``tpot_target_s`` are the interactive-tier
+    targets; other tiers scale them by the slack table. A held request
+    older than ``deadline_factor`` × its TTFT budget can no longer
+    meet its target even with an idle fleet, so it is shed.
+    """
+
+    ttft_target_s: float = 0.5
+    tpot_target_s: float = 0.05
+    deadline_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ttft_target_s <= 0 or self.tpot_target_s <= 0:
+            raise ValueError("targets must be positive")
+        if self.deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+
+    def ttft_budget(self, tier: str) -> float:
+        return self.ttft_target_s * _TIER_SLACK[tier]
+
+    def tpot_budget(self, tier: str) -> float:
+        return self.tpot_target_s * _TIER_SLACK[tier]
+
+    def deadline(self, tier: str) -> float:
+        """Max hold time before a request is shed as hopeless."""
+        return self.deadline_factor * self.ttft_budget(tier)
+
+    def attained(self, tier: str, ttft: float, tpot: float) -> bool:
+        """Did one completed request meet its tier's targets?
+
+        ``tpot`` may be nan (single-token completion); only the TTFT
+        target applies then.
+        """
+        if not ttft <= self.ttft_budget(tier):
+            return False
+        return not tpot > self.tpot_budget(tier)
+
+
+class AdmissionPolicy(ABC):
+    """Decides, per arrival, whether to admit, hold or shed."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def offer(self, request: CompletionRequest, now: float) -> str:
+        """One arrival: returns ``"admit"``, ``"hold"`` or
+        ``"shed:<reason>"``. A held request stays inside the policy
+        until :meth:`release` returns it (or :meth:`expire` sheds it).
+        """
+
+    def release(self, now: float) -> List[CompletionRequest]:
+        """Held requests to admit now (called after any completion)."""
+        return []
+
+    def expire(self, now: float) -> List[Tuple[CompletionRequest, str]]:
+        """Held requests to shed now, with reasons."""
+        return []
+
+    def on_done(self, request: CompletionRequest) -> None:
+        """An admitted request left the system (completed or shed)."""
+
+    @property
+    def held_count(self) -> int:
+        return 0
+
+
+class FifoAdmission(AdmissionPolicy):
+    """Admit everything; the gateway's bounded FIFO does the shedding."""
+
+    name = "fifo"
+
+    def offer(self, request: CompletionRequest, now: float) -> str:
+        return "admit"
+
+
+class SloAdmission(AdmissionPolicy):
+    """Priority hold queue + deadline shedding over a fleet budget.
+
+    ``budget`` is the number of requests allowed in flight at the
+    gateway (fleet outstanding capacity: replicas × max_outstanding);
+    holding the excess here instead of in the gateway's FIFO is what
+    lets tiers reorder and deadlines fire before dispatch.
+    """
+
+    name = "slo"
+
+    def __init__(
+        self,
+        slo: SloSpec,
+        budget: int,
+        hold_capacity: int = 64,
+    ) -> None:
+        if budget < 1 or hold_capacity < 1:
+            raise ValueError("budget and hold_capacity must be >= 1")
+        self.slo = slo
+        self.budget = budget
+        self.hold_capacity = hold_capacity
+        self.inflight = 0
+        #: (priority, arrival, rid) heap; lazy deletion via _dropped.
+        self._held: List[Tuple[int, float, int, CompletionRequest]] = []
+        self._dropped: Dict[int, bool] = {}
+        #: Held entries displaced by a better-tier newcomer; collected
+        #: (and shed) by the next :meth:`expire` sweep.
+        self._displaced: List[CompletionRequest] = []
+
+    # -- heap helpers ---------------------------------------------------
+
+    def _push(self, request: CompletionRequest) -> None:
+        heapq.heappush(self._held, (
+            request.priority, request.arrival_time, request.request_id, request,
+        ))
+
+    def _compact(self) -> None:
+        while self._held and self._held[0][2] in self._dropped:
+            self._dropped.pop(heapq.heappop(self._held)[2])
+
+    @property
+    def held_count(self) -> int:
+        return len(self._held) - len(self._dropped)
+
+    def _worst(self) -> Optional[Tuple[int, float, int, CompletionRequest]]:
+        """The lowest-priority (then youngest) live held entry."""
+        live = [e for e in self._held if e[2] not in self._dropped]
+        return max(live, key=lambda e: (e[0], e[1], e[2])) if live else None
+
+    # -- policy surface -------------------------------------------------
+
+    def offer(self, request: CompletionRequest, now: float) -> str:
+        if self.inflight < self.budget and self.held_count == 0:
+            self.inflight += 1
+            return "admit"
+        if self.held_count >= self.hold_capacity:
+            worst = self._worst()
+            if worst is None or (request.priority, request.arrival_time) >= (
+                worst[0], worst[1]
+            ):
+                # The newcomer is no better than the worst held entry.
+                return "shed:overload"
+            # Displace the worst held request in the newcomer's favour.
+            self._dropped[worst[2]] = True
+            self._push(request)
+            self._displaced.append(worst[3])
+            return "hold"
+        self._push(request)
+        return "hold"
+
+    def release(self, now: float) -> List[CompletionRequest]:
+        out: List[CompletionRequest] = []
+        while self.inflight < self.budget:
+            self._compact()
+            if not self._held:
+                break
+            entry = heapq.heappop(self._held)
+            self.inflight += 1
+            out.append(entry[3])
+        return out
+
+    def expire(self, now: float) -> List[Tuple[CompletionRequest, str]]:
+        out: List[Tuple[CompletionRequest, str]] = []
+        for displaced in self._displaced:
+            out.append((displaced, "overload"))
+        self._displaced = []
+        for entry in list(self._held):
+            priority, arrival, rid, request = entry
+            if rid in self._dropped:
+                continue
+            if now - arrival > self.slo.deadline(request.tier):
+                self._dropped[rid] = True
+                out.append((request, "deadline"))
+        self._compact()
+        return out
+
+    def on_done(self, request: CompletionRequest) -> None:
+        self.inflight = max(0, self.inflight - 1)
+
+
+def make_admission(
+    name: str, slo: SloSpec, budget: int, hold_capacity: int = 64
+) -> AdmissionPolicy:
+    """Resolve one admission policy by name (``fifo`` / ``slo``)."""
+    if name == "fifo":
+        return FifoAdmission()
+    if name == "slo":
+        return SloAdmission(slo, budget=budget, hold_capacity=hold_capacity)
+    raise ValueError(f"unknown admission policy {name!r}")

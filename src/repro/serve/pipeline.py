@@ -1,0 +1,207 @@
+"""Pluggable serving pipelines behind one front-end interface.
+
+The front end does not care *which* engine answers a workload — the
+online confidential cluster, the offline vLLM substrate, FlexGen
+batch inference or PEFT fine-tuning are all "pipelines" with the same
+surface: an ``id``, a ``capabilities`` table, and ``serve(load)``
+returning a metrics dict. Only pipelines with
+``capabilities["streaming"]`` also implement :meth:`stream`, which
+yields per-token :class:`~repro.serve.api.StreamChunk` events.
+
+The adapters map one :class:`~repro.serve.load.LoadSpec` onto each
+engine's native knobs (rate×duration for vLLM, request count for
+FlexGen, step count for PEFT) so capability-comparison tables can
+sweep every substrate from a single workload description.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterator, Optional
+
+from .admission import SloSpec
+from .api import StreamChunk
+from .load import LoadSpec
+
+__all__ = [
+    "ServingPipeline",
+    "ClusterPipeline",
+    "VllmPipeline",
+    "FlexGenPipeline",
+    "PeftPipeline",
+    "make_pipeline",
+]
+
+
+class ServingPipeline(ABC):
+    """Abstract base for serving pipelines."""
+
+    id: str = "abstract"
+    capabilities: Dict[str, bool] = {"streaming": False}
+
+    @abstractmethod
+    def serve(self, load: LoadSpec) -> Dict[str, Any]:
+        """Run one workload to completion; returns a metrics dict."""
+
+    def stream(self, load: LoadSpec) -> Iterator[StreamChunk]:
+        """Stream per-token events. Default: raise; override if supported."""
+        raise NotImplementedError(
+            f"pipeline {self.id!r} does not support streaming "
+            f"(capabilities={self.capabilities})"
+        )
+
+
+class ClusterPipeline(ServingPipeline):
+    """The online confidential cluster behind SLO-aware admission.
+
+    The only streaming-capable pipeline: per-token chunks come off the
+    gateway's listener hooks via :class:`~repro.serve.frontend.ServeFrontend`.
+    """
+
+    id = "cluster"
+    capabilities = {"streaming": True, "admission": True, "failover": True}
+
+    def __init__(
+        self,
+        config=None,
+        slo: Optional[SloSpec] = None,
+        admission: str = "slo",
+    ) -> None:
+        from ..core import ClusterConfig
+
+        self.config = config if config is not None else ClusterConfig()
+        self.slo = slo
+        self.admission = admission
+        self.last_result = None
+
+    def serve(self, load: LoadSpec) -> Dict[str, Any]:
+        from .frontend import run_serve
+
+        self.last_result = run_serve(
+            self.config, load, slo=self.slo, admission=self.admission
+        )
+        return self.last_result.as_dict()
+
+    def stream(self, load: LoadSpec) -> Iterator[StreamChunk]:
+        self.serve(load)
+        for response in self.last_result.responses:
+            for chunk in response.chunks:
+                yield chunk
+
+
+class VllmPipeline(ServingPipeline):
+    """Offline adapter over the vLLM-like continuous-batching engine."""
+
+    id = "vllm"
+    capabilities = {"streaming": False, "batching": True}
+
+    def __init__(self, system=None, spec=None) -> None:
+        from ..bench.systems import pipellm
+        from ..models import OPT_13B
+
+        self.system = system if system is not None else pipellm()
+        self.spec = spec if spec is not None else OPT_13B
+
+    def serve(self, load: LoadSpec) -> Dict[str, Any]:
+        from ..bench.experiments import run_vllm
+
+        result, _ = run_vllm(
+            self.system, self.spec, load.trace, load.rate,
+            parallel_n=1, duration=load.duration, seed=load.seed,
+        )
+        return {
+            "pipeline": self.id,
+            "system": self.system.name,
+            "finished": result.finished,
+            "mean_normalized_latency_s": result.mean_normalized_latency,
+            "swap_outs": result.swap_out_count,
+        }
+
+
+class FlexGenPipeline(ServingPipeline):
+    """Offline adapter over FlexGen-style batch inference.
+
+    A load spec's rate × duration becomes the batch's request count;
+    the trace's mean lengths pick the synthetic shape.
+    """
+
+    id = "flexgen"
+    capabilities = {"streaming": False, "offload": True}
+
+    def __init__(self, system=None, spec=None, batch_size: int = 16) -> None:
+        from ..bench.systems import pipellm
+        from ..models import OPT_13B
+
+        self.system = system if system is not None else pipellm()
+        self.spec = spec if spec is not None else OPT_13B
+        self.batch_size = batch_size
+
+    def serve(self, load: LoadSpec) -> Dict[str, Any]:
+        from ..bench.experiments import run_flexgen
+        from ..workloads import SyntheticShape
+
+        n_requests = max(self.batch_size, int(load.rate * load.duration))
+        shape = SyntheticShape(
+            int(load.trace.mean_prompt), max(4, int(load.trace.mean_output))
+        )
+        result, _ = run_flexgen(
+            self.system, self.spec, shape, self.batch_size, n_requests
+        )
+        return {
+            "pipeline": self.id,
+            "system": self.system.name,
+            "completed": n_requests,
+            "throughput_tps": result.throughput,
+        }
+
+
+class PeftPipeline(ServingPipeline):
+    """Offline adapter over PEFT fine-tuning (a training "pipeline").
+
+    Serving a load here means running one optimization step per ~32
+    requests of offered work — enough to compare substrate throughput
+    under one workload description, which is all the capability table
+    needs.
+    """
+
+    id = "peft"
+    capabilities = {"streaming": False, "training": True}
+
+    def __init__(self, system=None, spec=None, batch_size: int = 8,
+                 resident_layers: int = 20) -> None:
+        from ..bench.systems import pipellm
+        from ..models import OPT_13B
+
+        self.system = system if system is not None else pipellm()
+        self.spec = spec if spec is not None else OPT_13B
+        self.batch_size = batch_size
+        self.resident_layers = resident_layers
+
+    def serve(self, load: LoadSpec) -> Dict[str, Any]:
+        from ..bench.experiments import run_peft
+
+        steps = max(1, int(load.rate * load.duration) // 32)
+        result, _ = run_peft(
+            self.system, self.spec, self.batch_size,
+            self.resident_layers, steps, seed=load.seed,
+        )
+        return {
+            "pipeline": self.id,
+            "system": self.system.name,
+            "steps": steps,
+            "step_time_s": result.elapsed / steps,
+            "train_tokens_per_s": result.throughput,
+        }
+
+
+def make_pipeline(name: str, **kwargs: Any) -> ServingPipeline:
+    """Resolve one pipeline by id."""
+    table = {
+        "cluster": ClusterPipeline,
+        "vllm": VllmPipeline,
+        "flexgen": FlexGenPipeline,
+        "peft": PeftPipeline,
+    }
+    if name not in table:
+        raise ValueError(f"unknown pipeline {name!r}; choose from {sorted(table)}")
+    return table[name](**kwargs)

@@ -18,6 +18,7 @@ from .events import (
     IvEvent,
     LinkEvent,
     RecoveryEvent,
+    ServeEvent,
     SpeculationEvent,
     TelemetryEvent,
     TransferEvent,
@@ -47,6 +48,7 @@ __all__ = [
     "LinkEvent",
     "RecoveryEvent",
     "RequestRecord",
+    "ServeEvent",
     "SpeculationEvent",
     "TelemetryEvent",
     "TelemetryHub",

@@ -36,6 +36,7 @@ __all__ = [
     "RecoveryEvent",
     "ClusterEvent",
     "LinkEvent",
+    "ServeEvent",
 ]
 
 
@@ -147,6 +148,29 @@ class ClusterEvent(TelemetryEvent):
     replica: int = -1
     request_id: int = -1
     #: Shed reason, crash epoch, routing policy note, etc.
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ServeEvent(TelemetryEvent):
+    """A request-level state change at the online-serving layer.
+
+    Emitted by :class:`repro.serve.ServeFrontend` as a request moves
+    through the OpenAI-style front end: arrival, admission decision,
+    per-token streaming progress, failover restarts and terminal
+    completion/shedding. ``token_index`` is 1-based and only
+    meaningful for the ``first-token`` / ``token`` actions.
+    """
+
+    #: "arrive" | "admit" | "hold" | "first-token" | "token"
+    #: | "restart" | "complete" | "shed"
+    action: str
+    request_id: int = -1
+    tenant: str = ""
+    #: Priority tier: "interactive" | "standard" | "batch".
+    tier: str = ""
+    token_index: int = -1
+    #: Shed reason, admission policy note, etc.
     detail: str = ""
 
 

@@ -8,15 +8,25 @@ from .synthetic import (
     SyntheticShape,
     synthetic_requests,
 )
-from .traces import ALPACA, SHAREGPT, TraceSpec, generate_trace, poisson_trace
+from .traces import (
+    ALPACA,
+    ALPACA_SERVE,
+    SHAREGPT,
+    SHAREGPT_SERVE,
+    TraceSpec,
+    generate_trace,
+    poisson_trace,
+)
 
 __all__ = [
     "ALPACA",
+    "ALPACA_SERVE",
     "FLEXGEN_256_32",
     "FLEXGEN_32_128",
     "FineTuneBatch",
     "Request",
     "SHAREGPT",
+    "SHAREGPT_SERVE",
     "SyntheticShape",
     "TraceSpec",
     "generate_trace",

@@ -20,7 +20,15 @@ from typing import Iterator, List
 from ..sim import SeededRng
 from .requests import Request
 
-__all__ = ["TraceSpec", "SHAREGPT", "ALPACA", "generate_trace", "poisson_trace"]
+__all__ = [
+    "TraceSpec",
+    "SHAREGPT",
+    "ALPACA",
+    "SHAREGPT_SERVE",
+    "ALPACA_SERVE",
+    "generate_trace",
+    "poisson_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +66,24 @@ ALPACA = TraceSpec(
     name="alpaca",
     mean_prompt=19.0, sigma_prompt=0.8, max_prompt=128,
     mean_output=58.0, sigma_output=0.7, max_output=256,
+)
+
+#: Online-serving presets: the same published length statistics, with
+#: outputs clamped to interactive completion sizes so a latency
+#: frontier sweep (many rates × systems × policies) simulates in
+#: seconds. ShareGPT keeps its long, heavy-tailed prompts — the KV
+#: pressure that makes the CC-vs-PipeLLM gap visible — while Alpaca
+#: stays short-instruction shaped.
+SHAREGPT_SERVE = TraceSpec(
+    name="sharegpt-serve",
+    mean_prompt=161.0, sigma_prompt=1.0, max_prompt=512,
+    mean_output=48.0, sigma_output=0.8, max_output=128,
+)
+
+ALPACA_SERVE = TraceSpec(
+    name="alpaca-serve",
+    mean_prompt=19.0, sigma_prompt=0.8, max_prompt=128,
+    mean_output=24.0, sigma_output=0.7, max_output=64,
 )
 
 

@@ -111,6 +111,40 @@ class TestDashCommand:
         assert summary["verdict"] == "pcie-bound"
 
 
+class TestServeCommand:
+    def test_serve_registered_as_experiment(self):
+        assert "serve" in EXPERIMENTS
+
+    def test_single_run_summary(self):
+        code, text = run_cli("serve", "--rate", "8", "--duration", "2")
+        assert code == 0
+        assert "admission=slo" in text
+        assert "SLO attainment" in text
+        assert "TTFT p50 / p99" in text
+
+    def test_single_run_json_ledger_closes(self):
+        import json
+
+        code, text = run_cli("serve", "--rate", "12", "--duration", "2", "--json")
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["completed"] + doc["shed"] == doc["offered"]
+        assert doc["system"] == "pipellm"
+        assert doc["trace"] == "sharegpt-serve"
+
+    def test_trace_and_admission_flags(self):
+        import json
+
+        code, text = run_cli(
+            "serve", "--rate", "8", "--duration", "2",
+            "--trace", "alpaca", "--admission", "fifo", "--json",
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["trace"] == "alpaca-serve"
+        assert doc["admission"] == "fifo"
+
+
 class TestTraceAttrib:
     def test_waterfall_for_request(self):
         code, text = run_cli("trace", "fig2", "--attrib", "0")

@@ -57,6 +57,20 @@ class TestReplay:
         first, second = twice("parallel", "--seed", "13", "--json")
         assert first == second
 
+    def test_serve_replays_identically(self):
+        first, second = twice(
+            "serve", "--rate", "12", "--duration", "2", "--seed", "21", "--json",
+        )
+        assert first == second
+
+    def test_serve_seed_changes_the_run(self):
+        _, first = run_cli("serve", "--rate", "12", "--duration", "2",
+                           "--seed", "21", "--json")
+        set_default_seed(None)
+        _, second = run_cli("serve", "--rate", "12", "--duration", "2",
+                            "--seed", "22", "--json")
+        assert first != second
+
     def test_telemetry_event_stream_replays_identically(self):
         # The full Chrome trace — every event, timestamp, and lane —
         # must replay, not just the aggregate rows.

@@ -49,7 +49,16 @@ class Driver:
         self.regions = {}      # slot -> host region currently backing it
         self.handles = []
         self.delivered = []    # (tag, payload expected at request time)
+        self.landed = []       # (tag, plaintext) in wire-landing order
         self.small = self.machine.host_memory.allocate(1024, "small", b"s")
+        inner = self.machine.gpu.receive_ciphertext
+
+        def receive(chunk, message):
+            plaintext = inner(chunk, message)
+            self.landed.append((chunk.tag, plaintext))
+            return plaintext
+
+        self.machine.gpu.receive_ciphertext = receive
 
     def payload(self, slot):
         return f"slot{slot}-v{self.versions.get(slot, 0)}".encode()
@@ -131,13 +140,21 @@ def test_random_interleavings_preserve_all_invariants(ops):
     # IV ledger agreement between the endpoints (both directions).
     assert machine.cpu_endpoint.tx_iv.consumed == machine.gpu.endpoint.rx_iv.consumed
     assert machine.gpu.endpoint.tx_iv.consumed == machine.cpu_endpoint.rx_iv.consumed
-    # Content integrity: the GPU holds what the host held at request
-    # time for the LAST delivery of each tag.
-    last = {}
-    for tag, payload in driver.delivered:
-        last[tag] = payload
-    for tag, payload in last.items():
-        assert machine.gpu.read_plaintext(tag) == payload
+    # Content integrity: every plaintext the copy engine committed
+    # equals the host plaintext captured at request time. Compared
+    # per tag — PipeLLM may re-order *different* requests on the wire
+    # to reuse staged ciphertext (the fig10 mechanism), but same-tag
+    # deliveries must land in request order with request-time bytes;
+    # a later swap-out of the same tag legitimately overwrites device
+    # contents, so the final GPU state is not the right observation
+    # point.
+    landed_by_tag, delivered_by_tag = {}, {}
+    for tag, plaintext in driver.landed:
+        if tag != "small":
+            landed_by_tag.setdefault(tag, []).append(plaintext)
+    for tag, plaintext in driver.delivered:
+        delivered_by_tag.setdefault(tag, []).append(plaintext)
+    assert landed_by_tag == delivered_by_tag
 
 
 @given(ops=op_strategy)

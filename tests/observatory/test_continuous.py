@@ -40,6 +40,19 @@ class TestArtifactSchema:
         assert smoke_artifact["verdicts"]["offload-cc"] == "encryption-bound"
         assert smoke_artifact["verdicts"]["offload-pipellm"] != "encryption-bound"
 
+    def test_serve_campaign_present_with_closed_ledger(self, smoke_artifact):
+        serve = smoke_artifact["campaigns"]["serve"]
+        for system in ("cc", "pipellm"):
+            run = serve[system]
+            assert run["completed"] + run["shed"] == run["offered"]
+            assert 0.0 <= run["attainment"] <= 1.0
+        assert {
+            "serve_pipellm_goodput_rps",
+            "serve_pipellm_attainment",
+            "serve_pipellm_p99_ttft_s",
+            "serve_cc_goodput_rps",
+        } <= set(smoke_artifact["key_metrics"])
+
     def test_artifact_is_json_serialisable(self, smoke_artifact, tmp_path):
         path = tmp_path / "BENCH_0.json"
         path.write_text(json.dumps(smoke_artifact, indent=2, sort_keys=True))

@@ -58,3 +58,32 @@ class TestPanels:
         result = run(render=True, sink=received.append)
         # The sink gets every loop frame plus one final frame.
         assert len(received) == len(result.frames) + 1
+
+
+class TestServeDashboard:
+    def run_serve(self, render, **kw):
+        from repro.observatory.dashboard import run_serve_dashboard
+
+        kw.setdefault("rate", 10.0)
+        kw.setdefault("duration", 2.0)
+        kw.setdefault("interval_s", 0.25)
+        kw.setdefault("seed", 5)
+        return run_serve_dashboard(render=render, **kw)
+
+    def test_rendering_does_not_perturb_the_run(self):
+        rendered = self.run_serve(render=True)
+        blind = self.run_serve(render=False)
+        assert rendered.summary == blind.summary
+        assert rendered.frames and blind.frames == []
+
+    def test_frame_carries_the_serving_panel(self):
+        last = self.run_serve(render=True).frames[-1]
+        assert "serving (TTFT / TPOT)" in last
+        assert "ttft" in last and "tpot" in last
+        assert "completed" in last and "shed" in last
+
+    def test_summary_closes_the_ledger(self):
+        summary = self.run_serve(render=False).summary
+        assert summary["completed"] + summary["shed"] == summary["offered"]
+        assert summary["final_sim_time_s"] > 0.0
+        assert summary["rate_rps"] == 10.0

@@ -18,6 +18,14 @@ class TestRepoIsClean:
             "cli.py", "observatory/dashboard.py"
         }
 
+    def test_serve_modules_are_scanned_and_clean(self):
+        """The serving front end is simulated code: zero wall-clock reads."""
+        serve = SRC / "serve"
+        names = {p.name for p in serve.glob("*.py")}
+        assert {"admission.py", "api.py", "frontend.py",
+                "load.py", "pipeline.py"} <= names
+        assert wall_clock_call_sites(serve, allowed=()) == []
+
     def test_allowed_files_do_use_wall_clock(self):
         """If the allowlist went stale the lint would silently weaken."""
         sites = wall_clock_call_sites(SRC, allowed=())

@@ -149,3 +149,62 @@ class TestBindMachine:
         for line in text.strip().splitlines():
             assert line.startswith("#") or " " in line
         assert "repro_resource_utilization" in text
+
+
+class TestBindGatewayServing:
+    def run_bound(self, rate=10.0, duration=3.0):
+        from repro.cluster import Cluster
+        from repro.core import ClusterConfig
+        from repro.observatory import bind_gateway
+        from repro.serve import LoadSpec, ServeFrontend, generate_load
+
+        cluster = Cluster(ClusterConfig(
+            replicas=2, system="pipellm", policy="least-loaded",
+            reserve_bytes=55 << 30, max_outstanding=12,
+        ))
+        frontend = ServeFrontend(cluster)
+        requests = generate_load(LoadSpec(rate=rate, duration=duration))
+        result = frontend.run(requests, duration=duration)
+        registry = MetricsRegistry()
+        bind_gateway(registry, cluster.gateway)
+        return cluster, result, registry
+
+    def test_ttft_tpot_quantile_gauges(self):
+        cluster, result, registry = self.run_bound()
+        snap = registry.snapshot(cluster.sim.now)
+        series = {
+            (s["labels"]["metric"], s["labels"]["quantile"]): s["value"]
+            for s in snap["serve_latency_seconds"]["series"]
+        }
+        for metric in ("ttft", "tpot"):
+            assert series[(metric, "p50")] <= series[(metric, "p95")]
+            assert series[(metric, "p95")] <= series[(metric, "p99")]
+            assert series[(metric, "p50")] > 0.0
+        ttft = cluster.gateway.metrics.latencies["serve.ttft_s"]
+        assert series[("ttft", "p99")] == pytest.approx(ttft.p(99))
+
+    def test_histogram_observes_each_sample_once(self):
+        cluster, result, registry = self.run_bound()
+        first = registry.snapshot(cluster.sim.now)
+        second = registry.snapshot(cluster.sim.now)
+        ttft = cluster.gateway.metrics.latencies["serve.ttft_s"]
+
+        def hist_count(snap):
+            for s in snap["serve_latency_hist_seconds"]["series"]:
+                if s["labels"]["metric"] == "ttft":
+                    return s["count"]
+            raise AssertionError("no ttft histogram series")
+
+        # Cumulative children + seen-offsets: re-scraping without new
+        # samples must not double-count.
+        assert hist_count(first) == ttft.count == result.completed
+        assert hist_count(second) == ttft.count
+
+    def test_serve_counters_mirrored(self):
+        cluster, result, registry = self.run_bound()
+        snap = registry.snapshot(cluster.sim.now)
+        counters = {
+            s["labels"]["name"]: s["value"]
+            for s in snap["gateway_counter"]["series"]
+        }
+        assert counters["serve.completed"] == result.completed

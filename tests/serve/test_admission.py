@@ -1,0 +1,125 @@
+"""SLO-aware admission control: state machine, tiers, deadlines."""
+
+import math
+
+import pytest
+
+from repro.serve import (
+    CompletionRequest,
+    FifoAdmission,
+    SloAdmission,
+    SloSpec,
+    make_admission,
+)
+
+
+def _request(rid, tier="standard", arrival=0.0):
+    return CompletionRequest(
+        request_id=rid, tenant="t", prompt_tokens=32, max_tokens=8,
+        arrival_time=arrival, tier=tier,
+    )
+
+
+class TestSloSpec:
+    def test_budgets_scale_with_tier_slack(self):
+        slo = SloSpec(ttft_target_s=0.5, tpot_target_s=0.05)
+        assert slo.ttft_budget("interactive") == pytest.approx(0.5)
+        assert slo.ttft_budget("standard") == pytest.approx(1.0)
+        assert slo.ttft_budget("batch") == pytest.approx(2.0)
+        assert slo.tpot_budget("batch") == pytest.approx(0.2)
+
+    def test_attained_is_nan_safe(self):
+        slo = SloSpec()
+        # nan TPOT (single-token completion): only TTFT applies.
+        assert slo.attained("standard", 0.1, math.nan)
+        # nan TTFT (never served) is never attained.
+        assert not slo.attained("standard", math.nan, 0.01)
+        assert not slo.attained("interactive", 0.6, 0.01)
+        assert not slo.attained("interactive", 0.1, 0.06)
+
+    def test_rejects_nonpositive_targets(self):
+        with pytest.raises(ValueError):
+            SloSpec(ttft_target_s=0.0)
+        with pytest.raises(ValueError):
+            SloSpec(deadline_factor=0.0)
+
+
+class TestFifoAdmission:
+    def test_admits_everything(self):
+        policy = FifoAdmission()
+        for rid in range(100):
+            assert policy.offer(_request(rid), now=0.0) == "admit"
+        assert policy.held_count == 0
+
+
+class TestSloAdmission:
+    def _policy(self, budget=2, hold_capacity=3):
+        return SloAdmission(SloSpec(), budget=budget, hold_capacity=hold_capacity)
+
+    def test_admits_up_to_budget_then_holds(self):
+        policy = self._policy(budget=2)
+        assert policy.offer(_request(0), 0.0) == "admit"
+        assert policy.offer(_request(1), 0.0) == "admit"
+        assert policy.offer(_request(2), 0.0) == "hold"
+        assert policy.held_count == 1
+
+    def test_release_prefers_better_tier_over_arrival(self):
+        policy = self._policy(budget=1)
+        policy.offer(_request(0), 0.0)  # occupies the budget
+        policy.offer(_request(1, tier="batch", arrival=0.0), 0.0)
+        policy.offer(_request(2, tier="interactive", arrival=0.1), 0.1)
+        policy.on_done(_request(0))
+        released = policy.release(0.2)
+        assert [r.request_id for r in released] == [2]
+
+    def test_full_hold_queue_sheds_worst_newcomer(self):
+        policy = self._policy(budget=1, hold_capacity=1)
+        policy.offer(_request(0), 0.0)
+        assert policy.offer(_request(1, tier="interactive"), 0.0) == "hold"
+        # A batch newcomer is no better than the held interactive one.
+        assert policy.offer(_request(2, tier="batch"), 0.0) == "shed:overload"
+        assert policy.held_count == 1
+
+    def test_full_hold_queue_displaces_worst_for_better_newcomer(self):
+        policy = self._policy(budget=1, hold_capacity=1)
+        policy.offer(_request(0), 0.0)
+        assert policy.offer(_request(1, tier="batch"), 0.0) == "hold"
+        assert policy.offer(_request(2, tier="interactive"), 0.0) == "hold"
+        expired = policy.expire(0.0)
+        assert [(r.request_id, reason) for r, reason in expired] == [(1, "overload")]
+        assert policy.held_count == 1
+
+    def test_expire_sheds_past_deadline_holds(self):
+        slo = SloSpec(ttft_target_s=0.5, deadline_factor=1.0)
+        policy = SloAdmission(slo, budget=1, hold_capacity=8)
+        policy.offer(_request(0), 0.0)
+        policy.offer(_request(1, tier="interactive", arrival=0.0), 0.0)
+        # interactive deadline = 0.5 s; just before it, nothing expires.
+        assert policy.expire(0.5) == []
+        expired = policy.expire(0.51)
+        assert [(r.request_id, reason) for r, reason in expired] == [(0 + 1, "deadline")]
+        assert policy.held_count == 0
+
+    def test_on_done_frees_budget_for_release(self):
+        policy = self._policy(budget=1)
+        policy.offer(_request(0), 0.0)
+        policy.offer(_request(1), 0.0)
+        assert policy.release(0.0) == []
+        policy.on_done(_request(0))
+        assert [r.request_id for r in policy.release(0.0)] == [1]
+
+    def test_rejects_degenerate_limits(self):
+        with pytest.raises(ValueError):
+            SloAdmission(SloSpec(), budget=0)
+        with pytest.raises(ValueError):
+            SloAdmission(SloSpec(), budget=1, hold_capacity=0)
+
+
+class TestFactory:
+    def test_resolves_policies_by_name(self):
+        assert make_admission("fifo", SloSpec(), 4).name == "fifo"
+        assert make_admission("slo", SloSpec(), 4).name == "slo"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_admission("lottery", SloSpec(), 4)

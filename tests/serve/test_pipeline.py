@@ -1,0 +1,99 @@
+"""Pluggable serving pipelines: capability table and adapters."""
+
+import pytest
+
+from repro.core import ClusterConfig
+from repro.serve import (
+    ClusterPipeline,
+    FlexGenPipeline,
+    LoadSpec,
+    PeftPipeline,
+    ServingPipeline,
+    StreamChunk,
+    VllmPipeline,
+    make_pipeline,
+)
+
+RESERVE = 55 << 30
+
+_TINY = LoadSpec(rate=4.0, duration=2.0)
+
+
+def _cluster_pipeline():
+    return ClusterPipeline(
+        ClusterConfig(
+            replicas=2, system="pipellm", policy="least-loaded",
+            reserve_bytes=RESERVE, max_outstanding=12,
+        )
+    )
+
+
+class TestCapabilities:
+    def test_only_the_cluster_streams(self):
+        assert ClusterPipeline.capabilities["streaming"]
+        assert not VllmPipeline.capabilities["streaming"]
+        assert not FlexGenPipeline.capabilities["streaming"]
+        assert not PeftPipeline.capabilities["streaming"]
+
+    def test_ids_are_distinct(self):
+        ids = {
+            cls.id
+            for cls in (ClusterPipeline, VllmPipeline, FlexGenPipeline, PeftPipeline)
+        }
+        assert len(ids) == 4
+
+    def test_non_streaming_pipeline_refuses_to_stream(self):
+        with pytest.raises(NotImplementedError):
+            next(VllmPipeline().stream(_TINY))
+
+
+class TestClusterPipeline:
+    def test_serve_returns_ledger_closing_metrics(self):
+        pipeline = _cluster_pipeline()
+        doc = pipeline.serve(_TINY)
+        assert doc["offered"] > 0
+        assert doc["completed"] + doc["shed"] == doc["offered"]
+        assert pipeline.last_result is not None
+
+    def test_stream_yields_ordered_chunks_per_request(self):
+        pipeline = _cluster_pipeline()
+        chunks = list(pipeline.stream(_TINY))
+        assert chunks
+        assert all(isinstance(c, StreamChunk) for c in chunks)
+        by_request = {}
+        for chunk in chunks:
+            by_request.setdefault(chunk.request_id, []).append(chunk)
+        for seq in by_request.values():
+            assert [c.index for c in seq] == list(range(1, len(seq) + 1))
+
+
+class TestOfflineAdapters:
+    def test_vllm_adapter_maps_load_onto_engine(self):
+        doc = VllmPipeline().serve(LoadSpec(rate=2.0, duration=2.0))
+        assert doc["pipeline"] == "vllm"
+        assert doc["finished"] >= 0
+        assert doc["mean_normalized_latency_s"] >= 0.0
+
+    def test_flexgen_adapter_scales_requests_with_load(self):
+        doc = FlexGenPipeline(batch_size=4).serve(LoadSpec(rate=4.0, duration=2.0))
+        assert doc["pipeline"] == "flexgen"
+        assert doc["completed"] == 8  # rate x duration beats the batch floor
+        assert doc["throughput_tps"] > 0.0
+
+    def test_peft_adapter_derives_steps_from_load(self):
+        doc = PeftPipeline().serve(LoadSpec(rate=32.0, duration=2.0))
+        assert doc["pipeline"] == "peft"
+        assert doc["steps"] == 2
+        assert doc["step_time_s"] > 0.0
+
+
+class TestFactory:
+    def test_resolves_by_id(self):
+        for name in ("cluster", "vllm", "flexgen", "peft"):
+            pipeline = make_pipeline(name)
+            assert isinstance(pipeline, ServingPipeline)
+            assert pipeline.id == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_pipeline("triton")

@@ -5,16 +5,23 @@ import pytest
 from repro.sim import SeededRng, mean
 from repro.workloads import (
     ALPACA,
+    ALPACA_SERVE,
     FLEXGEN_256_32,
     FLEXGEN_32_128,
     FineTuneBatch,
     Request,
     SHAREGPT,
+    SHAREGPT_SERVE,
     generate_trace,
     poisson_trace,
     synthetic_requests,
     ultrachat_batches,
 )
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    return ordered[int(q * len(ordered))]
 
 
 class TestRequest:
@@ -66,6 +73,42 @@ class TestTraces:
     def test_deterministic(self):
         a = generate_trace(ALPACA, 50, SeededRng(7))
         b = generate_trace(ALPACA, 50, SeededRng(7))
+        assert [(r.prompt_len, r.output_len) for r in a] == [
+            (r.prompt_len, r.output_len) for r in b
+        ]
+
+
+class TestServeTraces:
+    """Online-serving presets: same published prompt statistics as the
+    batch traces, with outputs clamped to interactive completion sizes."""
+
+    def test_prompts_keep_the_published_means(self):
+        share = generate_trace(SHAREGPT_SERVE, 2000, SeededRng(2))
+        alpaca = generate_trace(ALPACA_SERVE, 2000, SeededRng(2))
+        # ShareGPT's clamp at 512 pulls the arithmetic mean below 161.
+        assert mean([r.prompt_len for r in share]) == pytest.approx(150, rel=0.2)
+        assert mean([r.prompt_len for r in alpaca]) == pytest.approx(19, rel=0.2)
+
+    def test_outputs_clamped_to_interactive_sizes(self):
+        share = generate_trace(SHAREGPT_SERVE, 1000, SeededRng(3))
+        alpaca = generate_trace(ALPACA_SERVE, 1000, SeededRng(3))
+        assert all(r.output_len <= SHAREGPT_SERVE.max_output == 128 for r in share)
+        assert all(r.output_len <= ALPACA_SERVE.max_output == 64 for r in alpaca)
+        assert mean([r.output_len for r in share]) < mean(
+            [r.output_len for r in generate_trace(SHAREGPT, 1000, SeededRng(3))]
+        )
+
+    def test_lognormal_shape_median_below_mean(self):
+        # A heavy right tail: p50 well under the mean, p95 near the clamp.
+        requests = generate_trace(SHAREGPT_SERVE, 4000, SeededRng(2))
+        prompts = [r.prompt_len for r in requests]
+        assert _percentile(prompts, 0.5) < 0.8 * mean(prompts)
+        assert _percentile(prompts, 0.95) > 2 * mean(prompts)
+        assert all(4 <= p <= SHAREGPT_SERVE.max_prompt for p in prompts)
+
+    def test_serve_presets_deterministic(self):
+        a = generate_trace(ALPACA_SERVE, 50, SeededRng(11))
+        b = generate_trace(ALPACA_SERVE, 50, SeededRng(11))
         assert [(r.prompt_len, r.output_len) for r in a] == [
             (r.prompt_len, r.output_len) for r in b
         ]
