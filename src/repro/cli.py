@@ -32,7 +32,12 @@ Commands:
 
 ``run``, ``all``, ``trace``, ``cluster``, ``serve``, ``bench`` and
 ``dash`` accept ``--seed N`` to override every workload generator's
-RNG seed process-wide.
+RNG seed process-wide, and ``--crypto-backend {reference,fast}`` to
+pick the fast-path profile (see :mod:`repro.fastpath`): ``fast`` (the
+default) auto-detects the quickest AES-GCM implementation and enables
+the tuned event queue; ``reference`` reproduces the pure-Python
+conformance path bit for bit. Simulated results are identical either
+way — only wall clock changes.
 """
 
 from __future__ import annotations
@@ -103,6 +108,17 @@ TEE-I/O     hypothetical inline hardware engine shared by N tenants (§8.3)
 """
 
 
+def _add_fastpath_arg(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--crypto-backend", choices=("reference", "fast"), default=None,
+        metavar="PROFILE", dest="crypto_backend",
+        help="fast-path profile: 'fast' (default) auto-detects the "
+             "quickest AES-GCM backend and the tuned event queue; "
+             "'reference' runs the pure-Python conformance path "
+             "(identical simulated results, slower wall clock)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -122,11 +138,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true", help="emit the result rows as JSON")
     run.add_argument("--seed", type=int, default=None, metavar="N",
                      help="override every workload generator's RNG seed")
+    _add_fastpath_arg(run)
 
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--scale", choices=("quick", "full"), default="quick")
     everything.add_argument("--seed", type=int, default=None, metavar="N",
                             help="override every workload generator's RNG seed")
+    _add_fastpath_arg(everything)
 
     cluster = sub.add_parser(
         "cluster", help="serve a multi-tenant workload on N confidential replicas"
@@ -150,6 +168,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=None, metavar="N")
     cluster.add_argument("--json", action="store_true",
                          help="emit the run summary as JSON")
+    _add_fastpath_arg(cluster)
 
     serve = sub.add_parser(
         "serve", help="online-serving front end over the confidential cluster"
@@ -175,6 +194,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=None, metavar="N")
     serve.add_argument("--json", action="store_true",
                        help="emit the run summary (or frontier rows) as JSON")
+    _add_fastpath_arg(serve)
 
     faults = sub.add_parser(
         "faults",
@@ -185,6 +205,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="emit the result rows as JSON")
     faults.add_argument("--seed", type=int, default=None, metavar="N",
                         help="override the fault and workload RNG seeds")
+    _add_fastpath_arg(faults)
 
     par = sub.add_parser(
         "parallel",
@@ -195,6 +216,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="emit the result rows as JSON")
     par.add_argument("--seed", type=int, default=None, metavar="N",
                      help="override every workload generator's RNG seed")
+    _add_fastpath_arg(par)
 
     trace = sub.add_parser(
         "trace", help="run one experiment with telemetry on and export the trace"
@@ -217,6 +239,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "id REQ (and the aggregate profile) instead of "
                             "exporting; REQ=-1 profiles every machine "
                             "without a per-request waterfall")
+    _add_fastpath_arg(trace)
 
     bench = sub.add_parser(
         "bench", help="continuous benchmark harness with regression gating"
@@ -240,6 +263,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=None, metavar="N")
     bench.add_argument("--json", action="store_true",
                        help="emit the comparison (or artifact) as JSON")
+    _add_fastpath_arg(bench)
 
     dash = sub.add_parser(
         "dash", help="live ASCII dashboard over a FlexGen offloading run "
@@ -261,6 +285,7 @@ def _build_parser() -> argparse.ArgumentParser:
     dash.add_argument("--seed", type=int, default=None, metavar="N")
     dash.add_argument("--json", action="store_true",
                       help="print only the final summary as JSON")
+    _add_fastpath_arg(dash)
     return parser
 
 
@@ -538,6 +563,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         from .sim import set_default_seed
 
         set_default_seed(args.seed)
+    if getattr(args, "crypto_backend", None) is not None:
+        from . import fastpath
+
+        fastpath.configure(args.crypto_backend)
     if args.command == "list":
         for name, fn in EXPERIMENTS.items():
             summary = (fn.__doc__ or "").strip().splitlines()[0]

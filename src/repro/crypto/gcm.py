@@ -64,6 +64,19 @@ def _int_from_block(block: bytes) -> int:
     return int.from_bytes(block, "big")
 
 
+def _xor_bytes(data: bytes, keystream: bytes) -> bytes:
+    """XOR ``data`` with ``keystream`` (same length) as one big integer.
+
+    Equivalent to the per-byte loop but runs in C; the CTR layer XORs
+    whole payloads, so this keeps even the reference backend usable on
+    multi-kilobyte messages.
+    """
+    n = len(data)
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(keystream, "big")
+    ).to_bytes(n, "big")
+
+
 def _block_from_int(value: int) -> bytes:
     return value.to_bytes(16, "big")
 
@@ -150,7 +163,7 @@ class AesGcm:
         """Return ``(ciphertext, tag)`` for ``plaintext`` under ``nonce``."""
         j0 = self._j0(nonce)
         keystream = self._ctr_stream(j0, len(plaintext))
-        ciphertext = bytes(p ^ k for p, k in zip(plaintext, keystream))
+        ciphertext = _xor_bytes(plaintext, keystream)
         s = self._ghash(aad, ciphertext)
         tag = _block_from_int(s ^ _int_from_block(self._aes.encrypt_block(_block_from_int(j0))))
         return ciphertext, tag
@@ -175,7 +188,7 @@ class AesGcm:
         if not _constant_time_eq(expected, tag):
             raise AuthenticationError("GCM tag mismatch")
         keystream = self._ctr_stream(j0, len(ciphertext))
-        return bytes(c ^ k for c, k in zip(ciphertext, keystream))
+        return _xor_bytes(ciphertext, keystream)
 
     def try_decrypt(
         self,

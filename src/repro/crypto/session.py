@@ -12,10 +12,12 @@ relinquishing exist to maintain.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
-from .gcm import AesGcm, AuthenticationError, iv_from_counter
+from .backend import make_gcm
+from .gcm import AuthenticationError, iv_from_counter
 from .ivstream import IvStream
+from .tiering import expand, shrink
 
 __all__ = ["SecureSession", "SessionEndpoint", "EncryptedMessage", "tamper_tag"]
 
@@ -28,12 +30,18 @@ class EncryptedMessage:
     their local counters, exactly as on the H100 (§2.2). We keep the
     counter value used by the sender purely for introspection in tests
     and traces; the receiver never reads it.
+
+    ``carried`` is only set for payload-tiered messages (see
+    :mod:`repro.crypto.tiering`): the bulk payload bytes riding
+    outside the cipher, bound to it by the authenticated digest the
+    ciphertext actually encrypts.
     """
 
     ciphertext: bytes
     tag: bytes
     sender_iv: int
     nbytes_logical: int
+    carried: Optional[bytes] = None
 
 
 def tamper_tag(message: EncryptedMessage) -> EncryptedMessage:
@@ -45,7 +53,10 @@ def tamper_tag(message: EncryptedMessage) -> EncryptedMessage:
     sender's original message object is untouched.
     """
     tag = bytes([message.tag[0] ^ 0x01]) + message.tag[1:]
-    return EncryptedMessage(message.ciphertext, tag, message.sender_iv, message.nbytes_logical)
+    return EncryptedMessage(
+        message.ciphertext, tag, message.sender_iv, message.nbytes_logical,
+        message.carried,
+    )
 
 
 class SessionEndpoint:
@@ -54,7 +65,7 @@ class SessionEndpoint:
     def __init__(self, name: str, key: bytes, tx_start_iv: int, rx_start_iv: int) -> None:
         self.name = name
         self.key = bytes(key)
-        self._gcm = AesGcm(key)
+        self._gcm = make_gcm(self.key)
         self.tx_iv = IvStream(tx_start_iv, name=f"{name}.tx")
         self.rx_iv = IvStream(rx_start_iv, name=f"{name}.rx")
 
@@ -75,8 +86,11 @@ class SessionEndpoint:
     def encrypt_next(self, plaintext: bytes, nbytes_logical: int = 0) -> EncryptedMessage:
         """Encrypt with this endpoint's next TX IV (consuming it)."""
         counter = self.tx_iv.consume()
-        ciphertext, tag = self._gcm.encrypt(iv_from_counter(counter), plaintext)
-        return EncryptedMessage(ciphertext, tag, counter, nbytes_logical or len(plaintext))
+        functional, carried = shrink(plaintext)
+        ciphertext, tag = self._gcm.encrypt(iv_from_counter(counter), functional)
+        return EncryptedMessage(
+            ciphertext, tag, counter, nbytes_logical or len(plaintext), carried
+        )
 
     def encrypt_with_iv(self, plaintext: bytes, counter: int, nbytes_logical: int = 0) -> EncryptedMessage:
         """Encrypt with an explicit (speculative) IV, *not* consuming the stream.
@@ -85,8 +99,11 @@ class SessionEndpoint:
         future transfer will use. Whether the guess was right is only
         learned when the ciphertext is committed to the channel.
         """
-        ciphertext, tag = self._gcm.encrypt(iv_from_counter(counter), plaintext)
-        return EncryptedMessage(ciphertext, tag, counter, nbytes_logical or len(plaintext))
+        functional, carried = shrink(plaintext)
+        ciphertext, tag = self._gcm.encrypt(iv_from_counter(counter), functional)
+        return EncryptedMessage(
+            ciphertext, tag, counter, nbytes_logical or len(plaintext), carried
+        )
 
     def commit_tx_iv(self) -> int:
         """Advance the TX counter because a ciphertext was put on the wire."""
@@ -98,10 +115,15 @@ class SessionEndpoint:
         """Decrypt with this endpoint's next RX IV (consuming it).
 
         Raises :class:`AuthenticationError` if the sender used a
-        different counter — i.e. the streams desynchronized.
+        different counter — i.e. the streams desynchronized — or, for
+        a tiered message, if the carried bytes fail their
+        authenticated digest.
         """
         counter = self.rx_iv.consume()
-        return self._gcm.decrypt(iv_from_counter(counter), message.ciphertext, message.tag)
+        plaintext = self._gcm.decrypt(
+            iv_from_counter(counter), message.ciphertext, message.tag
+        )
+        return expand(plaintext, message.carried)
 
 
 class SecureSession:

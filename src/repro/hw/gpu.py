@@ -144,5 +144,6 @@ class GpuEnclave:
         finish = start + duration
         self.busy_until = finish
         self.compute_seconds += duration
-        self.sim.tracer.record(self.lane, "compute", start, finish)
+        if self.sim.tracer.enabled:
+            self.sim.tracer.record(self.lane, "compute", start, finish)
         return self.sim.timeout(finish - self.sim.now)

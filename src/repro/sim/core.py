@@ -33,8 +33,10 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .. import fastpath
 
 
 class SimulationError(RuntimeError):
@@ -50,6 +52,8 @@ class Event:
     waiter immediately (at the current time), which makes events safe
     to use as completion handles.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -113,6 +117,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically after a fixed delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -131,6 +137,8 @@ class Process(Event):
     succeeds, the process resumes with ``event.value``; when it fails,
     the exception is thrown into the generator.
     """
+
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, sim: "Simulator", generator: Generator) -> None:
         super().__init__(sim)
@@ -197,6 +205,8 @@ class Interrupt(Exception):
 class Condition(Event):
     """Base for :func:`Simulator.all_of` / :func:`Simulator.any_of`."""
 
+    __slots__ = ("_events", "_need_all", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event], need_all: bool) -> None:
         super().__init__(sim)
         self._events = list(events)
@@ -232,12 +242,38 @@ class Condition(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of timestamped callbacks."""
+    """The event loop: a priority queue of timestamped callbacks.
 
-    def __init__(self) -> None:
+    Two queue implementations are selectable via ``queue`` (default:
+    the active :mod:`repro.fastpath` profile):
+
+    ``"heap"``
+        The original single binary heap of ``(when, seq, func, args)``.
+
+    ``"fast"``
+        The heap plus a FIFO lane for callbacks scheduled at the
+        *current* timestamp — the dominant case (event dispatch,
+        zero-delay timeouts, process start-ups), which the heap path
+        pays two ``heapq`` operations and a tuple build for. The FIFO
+        preserves the exact ``(when, seq)`` total order: while the
+        kernel is processing time ``t``, every entry still in the heap
+        at time ``t`` was scheduled *before* the clock reached ``t``
+        (later ones go to the FIFO), so heap-resident ``t`` entries
+        always precede FIFO entries in sequence order — the drain
+        order below. ``tests/sim/test_queue_equivalence.py`` holds the
+        two implementations bit-identical over adversarial schedules.
+    """
+
+    def __init__(self, queue: Optional[str] = None) -> None:
         self.now: float = 0.0
         self._queue: List = []
-        self._counter = itertools.count()
+        self._fifo: deque = deque()
+        self._seq = 0
+        queue = queue or fastpath.config().queue
+        if queue not in ("heap", "fast"):
+            raise ValueError(f"unknown queue implementation {queue!r}")
+        self.queue_impl = queue
+        self._fast = queue == "fast"
         # Optional span tracer (see repro.sim.tracing); disabled by
         # default so instrumented components stay overhead-free.
         from .tracing import SpanTracer
@@ -247,16 +283,29 @@ class Simulator:
     # -- scheduling ----------------------------------------------------
 
     def _schedule(self, when: float, func: Callable, *args: Any) -> None:
-        heapq.heappush(self._queue, (when, next(self._counter), func, args))
+        if self._fast and when == self.now:
+            self._fifo.append((func, args))
+        else:
+            self._seq += 1
+            heapq.heappush(self._queue, (when, self._seq, func, args))
 
     def _schedule_callback(self, func: Callable) -> None:
-        self._schedule(self.now, func)
+        if self._fast:
+            self._fifo.append((func, ()))
+        else:
+            self._seq += 1
+            heapq.heappush(self._queue, (self.now, self._seq, func, ()))
 
     def _dispatch(self, event: Event) -> None:
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
-            for callback in callbacks:
-                self._schedule(self.now, callback, event)
+            if self._fast:
+                fifo = self._fifo
+                for callback in callbacks:
+                    fifo.append((callback, (event,)))
+            else:
+                for callback in callbacks:
+                    self._schedule(self.now, callback, event)
 
     # -- public API ----------------------------------------------------
 
@@ -286,6 +335,16 @@ class Simulator:
         When ``until`` is given, the clock is advanced exactly to it
         even if the queue drains earlier.
         """
+        if self._fast:
+            self._run_fast(until)
+        else:
+            self._run_heap(until)
+        if until is not None and self.now < until:
+            self.now = until
+
+    def _run_heap(self, until: Optional[float]) -> None:
+        """The original event loop: one binary heap, total order by
+        ``(when, seq)``. Kept verbatim as the differential baseline."""
         while self._queue:
             when, _tie, func, args = self._queue[0]
             if until is not None and when > until:
@@ -293,9 +352,41 @@ class Simulator:
             heapq.heappop(self._queue)
             self.now = when
             func(*args)
-        if until is not None and self.now < until:
-            self.now = until
+
+    def _run_fast(self, until: Optional[float]) -> None:
+        """Heap + current-time FIFO drain, same total order as the heap.
+
+        Order per timestamp: heap entries at ``now`` first (scheduled
+        before the clock reached ``now``, hence lower sequence
+        numbers), then the FIFO in insertion order, then advance the
+        clock. The FIFO is provably empty whenever the clock advances
+        or the loop exits on the ``until`` horizon.
+        """
+        queue = self._queue
+        fifo = self._fifo
+        pop = heapq.heappop
+        while True:
+            if until is not None and self.now > until:
+                break
+            if queue and queue[0][0] <= self.now:
+                _when, _tie, func, args = pop(queue)
+                func(*args)
+                continue
+            if fifo:
+                func, args = fifo.popleft()
+                func(*args)
+                continue
+            if not queue:
+                break
+            when = queue[0][0]
+            if until is not None and when > until:
+                break
+            _when, _tie, func, args = pop(queue)
+            self.now = when
+            func(*args)
 
     def peek(self) -> Optional[float]:
         """Timestamp of the next scheduled callback, or None if idle."""
+        if self._fifo:
+            return self.now
         return self._queue[0][0] if self._queue else None

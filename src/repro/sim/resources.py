@@ -152,7 +152,8 @@ class BandwidthPipe:
         self._busy_until = finish
         self.bytes_moved += nbytes
         self.jobs_done += 1
-        self.sim.tracer.record(self.name, "xfer", start, finish)
+        if self.sim.tracer.enabled:
+            self.sim.tracer.record(self.name, "xfer", start, finish)
         return self.sim.timeout(finish - self.sim.now, value=nbytes)
 
     def transfer_proc(self, nbytes: int) -> Generator[Event, None, int]:
@@ -235,5 +236,6 @@ class WorkerPool:
             yield self.sim.timeout(service_time)
             self.busy_seconds += service_time
             self.jobs_done += 1
-            self.sim.tracer.record(f"{self.name}[{_index}]", "job", started, self.sim.now)
+            if self.sim.tracer.enabled:
+                self.sim.tracer.record(f"{self.name}[{_index}]", "job", started, self.sim.now)
             done.succeed(payload)

@@ -11,6 +11,7 @@ import io
 
 import pytest
 
+from repro import fastpath
 from repro.cli import main
 from repro.sim import set_default_seed
 
@@ -23,10 +24,12 @@ def run_cli(*argv):
 
 @pytest.fixture(autouse=True)
 def _reset_seed():
-    # ``--seed`` overrides the process-wide default; never leak it
-    # into other tests.
+    # ``--seed`` and ``--crypto-backend`` override process-wide state;
+    # never leak either into other tests.
+    previous_profile = fastpath.config()
     yield
     set_default_seed(None)
+    fastpath.configure(previous_profile)
 
 
 def twice(*argv):
@@ -87,3 +90,54 @@ class TestReplay:
         _, second = run_cli("cluster", "--replicas", "2", "--rate", "20",
                             "--duration", "0.5", "--seed", "6", "--json")
         assert first != second
+
+
+class TestCrossProfileReplay:
+    """Fast path ≡ reference path, observed end to end through the CLI.
+
+    The fast-path profile swaps the AES-GCM backend, the event queue,
+    the DH exponent width, and payload tiering all at once; every
+    simulated quantity any subcommand prints must nevertheless be
+    byte-identical to the pure reference path at the same seed.
+    """
+
+    def across_profiles(self, *argv):
+        set_default_seed(None)
+        code1, ref = run_cli(*argv, "--crypto-backend", "reference")
+        set_default_seed(None)
+        code2, fast = run_cli(*argv, "--crypto-backend", "fast")
+        assert code1 == code2 == 0
+        return ref, fast
+
+    def test_run_fig2(self):
+        ref, fast = self.across_profiles("run", "fig2", "--json", "--seed", "11")
+        assert ref == fast
+
+    def test_cluster(self):
+        ref, fast = self.across_profiles(
+            "cluster", "--replicas", "2", "--rate", "20", "--duration", "0.5",
+            "--tenants", "2", "--seed", "5", "--json",
+        )
+        assert ref == fast
+
+    def test_faults(self):
+        ref, fast = self.across_profiles("faults", "--seed", "7", "--json")
+        assert ref == fast
+
+    @pytest.mark.slow
+    def test_parallel(self):
+        ref, fast = self.across_profiles("parallel", "--seed", "13", "--json")
+        assert ref == fast
+
+    def test_serve(self):
+        ref, fast = self.across_profiles(
+            "serve", "--rate", "12", "--duration", "2", "--seed", "21", "--json",
+        )
+        assert ref == fast
+
+    def test_trace_event_stream(self):
+        # Not just aggregates: every telemetry event and timestamp.
+        ref, fast = self.across_profiles(
+            "trace", "fig2", "--format", "chrome", "--seed", "3"
+        )
+        assert ref == fast

@@ -1,0 +1,145 @@
+"""Payload-size tiering invariants (repro.crypto.tiering).
+
+Tiering substitutes a fixed-size authenticated digest for bulk
+functional plaintexts. These tests pin the contract:
+
+* round-trip fidelity — the receiver always gets the original bytes;
+* auth fidelity — every corruption GCM would catch is still caught,
+  whether it lands on the tag, the ciphertext, or the carried bytes;
+* accounting fidelity — exactly one IV per message per direction and
+  unchanged ``nbytes_logical``, whatever the payload size;
+* transparency — payloads at or below the threshold produce
+  bit-identical wire bytes to an untiered session.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import fastpath
+from repro.crypto import AuthenticationError, SecureSession
+from repro.crypto.tiering import DIGEST_BYTES, expand, payload_digest, shrink
+
+THRESHOLD = 64
+
+small = st.binary(min_size=0, max_size=THRESHOLD)
+bulk = st.binary(min_size=THRESHOLD + 1, max_size=4 * THRESHOLD).filter(
+    lambda b: len(b) > THRESHOLD
+)
+anysize = st.one_of(small, bulk)
+
+
+@pytest.fixture(autouse=True)
+def _tiered_profile():
+    with fastpath.use_profile("fast", tier_threshold=THRESHOLD):
+        yield
+
+
+def endpoints():
+    return SecureSession(key=bytes(range(16))).endpoints()
+
+
+class TestShrinkExpand:
+    def test_small_payload_passes_through(self):
+        assert shrink(b"x" * THRESHOLD) == (b"x" * THRESHOLD, None)
+
+    def test_bulk_payload_becomes_fixed_size_digest(self):
+        payload = bytes(range(256))
+        functional, carried = shrink(payload)
+        assert carried == payload
+        assert functional == payload_digest(payload)
+        assert len(functional) == DIGEST_BYTES
+
+    def test_digest_binds_length_and_content(self):
+        assert payload_digest(b"a" * 100) != payload_digest(b"a" * 101)
+        assert payload_digest(b"a" * 100) != payload_digest(b"b" * 100)
+
+    def test_expand_rejects_mismatched_carry(self):
+        functional, carried = shrink(bytes(200))
+        with pytest.raises(AuthenticationError):
+            expand(functional, carried + b"\x00")
+        with pytest.raises(AuthenticationError):
+            expand(functional, carried[:-1])
+
+    def test_threshold_zero_disables_tiering(self):
+        with fastpath.use_profile("fast", tier_threshold=0):
+            assert shrink(bytes(1 << 16))[1] is None
+
+
+class TestSessionRoundTrip:
+    @given(payload=anysize)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_any_size(self, payload):
+        cpu, gpu = endpoints()
+        assert gpu.decrypt_next(cpu.encrypt_next(payload)) == payload
+
+    @given(payload=bulk)
+    @settings(max_examples=30, deadline=None)
+    def test_bulk_ciphertext_is_fixed_size(self, payload):
+        cpu, _ = endpoints()
+        message = cpu.encrypt_next(payload, nbytes_logical=1 << 20)
+        assert len(message.ciphertext) == DIGEST_BYTES
+        assert message.carried == payload
+        # Timing inputs are untouched by tiering.
+        assert message.nbytes_logical == 1 << 20
+
+    @given(payload=bulk, byte_index=st.integers(0, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_tampered_tag_still_fails_auth(self, payload, byte_index):
+        cpu, gpu = endpoints()
+        message = cpu.encrypt_next(payload)
+        bad = bytearray(message.tag)
+        bad[byte_index] ^= 0x01
+        tampered = type(message)(
+            message.ciphertext, bytes(bad), message.sender_iv,
+            message.nbytes_logical, message.carried,
+        )
+        with pytest.raises(AuthenticationError):
+            gpu.decrypt_next(tampered)
+
+    @given(payload=bulk, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_tampered_carried_bytes_fail_auth(self, payload, data):
+        # The bulk bytes ride outside the cipher; flipping any of them
+        # must still surface as an AuthenticationError at the receiver.
+        cpu, gpu = endpoints()
+        message = cpu.encrypt_next(payload)
+        index = data.draw(st.integers(0, len(payload) - 1))
+        bad = bytearray(message.carried)
+        bad[index] ^= 0x01
+        tampered = type(message)(
+            message.ciphertext, message.tag, message.sender_iv,
+            message.nbytes_logical, bytes(bad),
+        )
+        with pytest.raises(AuthenticationError):
+            gpu.decrypt_next(tampered)
+
+    @given(payloads=st.lists(anysize, min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_one_iv_per_message_regardless_of_size(self, payloads):
+        cpu, gpu = endpoints()
+        first_tx = cpu.tx_iv.peek()
+        for payload in payloads:
+            gpu.decrypt_next(cpu.encrypt_next(payload))
+        assert cpu.tx_iv.peek() == first_tx + len(payloads)
+        assert gpu.rx_iv.peek() == first_tx + len(payloads)
+
+    @given(payload=small)
+    @settings(max_examples=30, deadline=None)
+    def test_below_threshold_wire_bytes_identical_to_untiered(self, payload):
+        cpu, _ = endpoints()
+        tiered = cpu.encrypt_next(payload)
+        with fastpath.use_profile("reference"):
+            ref_cpu, _ = endpoints()
+            untiered = ref_cpu.encrypt_next(payload)
+        assert tiered.ciphertext == untiered.ciphertext
+        assert tiered.tag == untiered.tag
+        assert tiered.carried is None
+
+    @given(payload=bulk)
+    @settings(max_examples=20, deadline=None)
+    def test_desynchronized_counters_still_fail(self, payload):
+        cpu, gpu = endpoints()
+        cpu.commit_tx_iv()  # cpu burns an IV the gpu never sees
+        message = cpu.encrypt_next(payload)
+        with pytest.raises(AuthenticationError):
+            gpu.decrypt_next(message)

@@ -31,10 +31,22 @@ class TestArtifactSchema:
         assert a["suite"] == "smoke" and a["seed"] == 3
         assert set(a["verdicts"]) == {"offload-cc", "offload-pipellm"}
         for metric in a["key_metrics"].values():
-            assert set(metric) == {"value", "higher_is_better"}
+            assert {"value", "higher_is_better"} <= set(metric)
+            assert set(metric) <= {"value", "higher_is_better", "level"}
             assert isinstance(metric["value"], float)
             assert isinstance(metric["higher_is_better"], bool)
         assert "campaigns" in a and "wall_clock_s" in a
+
+    def test_wall_clock_key_metric_requires_a_clock(self, smoke_artifact):
+        # The fixture runs without a clock: no wall-clock key metric,
+        # and every remaining entry is a gated simulated quantity.
+        assert "wall_clock_s" not in smoke_artifact["key_metrics"]
+        ticks = iter(range(100))
+        timed = run_suite("smoke", seed=3, clock=lambda: float(next(ticks)))
+        wall = timed["key_metrics"]["wall_clock_s"]
+        assert wall["level"] == "warn"
+        assert wall["higher_is_better"] is False
+        assert wall["value"] == timed["wall_clock_s"] > 0.0
 
     def test_verdicts_match_paper_regimes(self, smoke_artifact):
         assert smoke_artifact["verdicts"]["offload-cc"] == "encryption-bound"
@@ -133,6 +145,41 @@ class TestComparator:
         mutated["wall_clock_s"] = smoke_artifact.get("wall_clock_s", 0.0) + 1e6
         diff = compare_artifacts(smoke_artifact, mutated)
         assert diff["regressions"] == []
+
+    def test_warn_level_metric_warns_instead_of_regressing(self, smoke_artifact):
+        base = copy.deepcopy(smoke_artifact)
+        base["key_metrics"]["wall_clock_s"] = {
+            "value": 10.0, "higher_is_better": False, "level": "warn",
+        }
+        slow = copy.deepcopy(base)
+        slow["key_metrics"]["wall_clock_s"]["value"] = 100.0
+        diff = compare_artifacts(base, slow)
+        assert diff["regressions"] == []
+        assert [w["metric"] for w in diff["warnings"]] == ["wall_clock_s"]
+        # Beyond-tolerance movement in the *good* direction is also
+        # only a warning — wall time is noise, not a gated win.
+        fastr = copy.deepcopy(base)
+        fastr["key_metrics"]["wall_clock_s"]["value"] = 1.0
+        diff = compare_artifacts(base, fastr)
+        assert diff["improvements"] == []
+        assert [w["metric"] for w in diff["warnings"]] == ["wall_clock_s"]
+        assert "warnings" in render_comparison(diff)
+        assert "WARN" in render_comparison(diff)
+
+    def test_warn_level_respected_from_either_side(self, smoke_artifact):
+        # A baseline artifact written before wall-clock tracking has
+        # no level tag; the candidate's tag alone must de-gate it.
+        base = copy.deepcopy(smoke_artifact)
+        base["key_metrics"]["wall_clock_s"] = {
+            "value": 10.0, "higher_is_better": False,
+        }
+        cand = copy.deepcopy(base)
+        cand["key_metrics"]["wall_clock_s"] = {
+            "value": 100.0, "higher_is_better": False, "level": "warn",
+        }
+        diff = compare_artifacts(base, cand)
+        assert diff["regressions"] == []
+        assert [w["metric"] for w in diff["warnings"]] == ["wall_clock_s"]
 
 
 class TestArtifactNumbering:
