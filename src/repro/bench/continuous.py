@@ -203,9 +203,9 @@ def _faults_campaign(suite: SuiteScale) -> Dict[str, Any]:
     )
     # Clean run calibrates the storm window, exactly like the full
     # campaign; both runs contribute metrics.
-    _, _, _, _, dry = _run_once(scale, 0.0, _ADAPTIVE, (0.0, 0.0))
+    _, _, _, _, dry, _ = _run_once(scale, 0.0, _ADAPTIVE, (0.0, 0.0))
     window = (0.15 * dry.elapsed, 0.55 * dry.elapsed)
-    machine, runtime, injector, audit, stormy = _run_once(
+    machine, runtime, injector, audit, stormy, _ = _run_once(
         scale, 0.3, _ADAPTIVE, window
     )
     stats = runtime.stats()

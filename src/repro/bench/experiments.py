@@ -284,10 +284,29 @@ def attribution_breakdown(scale="quick") -> ExperimentResult:
         "Critical-path attribution per stage (FlexGen OPT-66B)",
         columns=[
             "system", "verdict", "encrypt_pct", "wire_order_pct",
-            "staging_pct", "control_pct", "pcie_pct", "decrypt_pct",
-            "other_pct", "hit_rate", "net_saved_s",
+            "staging_pct", "control_pct", "pcie_pct", "interconnect_pct",
+            "decrypt_pct", "other_pct", "hit_rate", "net_saved_s",
         ],
     )
+
+    def _add_profile_row(name, profile, hit_rate=None, net_saved=None):
+        result.add_row(
+            system=name,
+            verdict=profile.verdict,
+            encrypt_pct=100 * profile.share("encrypt"),
+            wire_order_pct=100 * profile.share("wire-order"),
+            staging_pct=100 * profile.share("staging"),
+            control_pct=100 * profile.share("control"),
+            pcie_pct=100 * profile.share("pcie"),
+            interconnect_pct=100 * profile.share("interconnect"),
+            decrypt_pct=100 * profile.share("decrypt"),
+            other_pct=100 * profile.share("other"),
+            hit_rate=profile.speculation.hit_rate if hit_rate is None
+            else hit_rate,
+            net_saved_s=profile.speculation.net_saved_s if net_saved is None
+            else net_saved,
+        )
+
     shape = SyntheticShape(512, scale.flexgen_output or 8)
     systems = (WITHOUT_CC, CC, pipellm(OFFLOAD_ENC_THREADS, OFFLOAD_DEC_THREADS))
     for system in systems:
@@ -300,22 +319,44 @@ def attribution_breakdown(scale="quick") -> ExperimentResult:
                 machine.telemetry,
                 enc_bandwidth=machine.params.enc_bandwidth_per_thread,
             )
-        result.add_row(
-            system=system.name,
-            verdict=profile.verdict,
-            encrypt_pct=100 * profile.share("encrypt"),
-            wire_order_pct=100 * profile.share("wire-order"),
-            staging_pct=100 * profile.share("staging"),
-            control_pct=100 * profile.share("control"),
-            pcie_pct=100 * profile.share("pcie"),
-            decrypt_pct=100 * profile.share("decrypt"),
-            other_pct=100 * profile.share("other"),
-            hit_rate=profile.speculation.hit_rate,
-            net_saved_s=profile.speculation.net_saved_s,
+        _add_profile_row(system.name, profile)
+
+    # Inter-GPU rows: the encrypted fabric's hop records attribute to
+    # the "interconnect" stage, with the serialized bridge splitting
+    # time into the inline decrypt/re-encrypt legs as well.
+    from ..cc import build_machine
+    from ..parallel import LinkSpeculator, TensorParallelEngine
+
+    for name, speculate in (("CC TP-2", False), ("PipeLLM TP-2", True)):
+        with recording():
+            machine = build_machine(
+                CcMode.ENABLED, n_gpus=2,
+                enc_threads=OFFLOAD_ENC_THREADS,
+                dec_threads=OFFLOAD_DEC_THREADS,
+            )
+            if speculate:
+                machine.interconnect.attach_speculator(
+                    LinkSpeculator(lambda: machine.sim.now)
+                )
+            engine = TensorParallelEngine(machine, OPT_13B, batch=16)
+            engine.run(output_tokens=2)
+            profile = profile_hub(
+                machine.telemetry,
+                enc_bandwidth=machine.params.enc_bandwidth_per_thread,
+            )
+        _add_profile_row(
+            name, profile,
+            hit_rate=machine.interconnect.hit_rate(), net_saved=0.0,
         )
+
     result.add_note(
         "per-stage shares of total blocked wire time; each request's "
         "stages sum to its end-to-end latency exactly"
+    )
+    result.add_note(
+        "TP-2 rows profile inter-GPU hop records on the encrypted "
+        "fabric: interconnect_pct is the DMA legs of the host bounce, "
+        "encrypt/decrypt the serialized bridge's inline AES"
     )
     result.add_note(
         "net_saved_s: critical-path AES seconds removed by staged hits "

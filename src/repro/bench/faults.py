@@ -35,6 +35,7 @@ from ..faults import FaultInjector, FaultPlan, FaultPolicy, PipelineMode
 from ..models import OPT_66B
 from ..serving import FlexGenConfig, FlexGenEngine
 from ..sim import default_seed
+from ..tracing import AlertEngine, default_event_rules
 from .experiments import (
     FLEXGEN_BATCH,
     OFFLOAD_DEC_THREADS,
@@ -75,6 +76,14 @@ def _run_once(scale, rate: float, policy: FaultPolicy, window: Tuple[float, floa
     # Wire-latency percentiles come from per-request lifecycle records,
     # which only flow while the hub is enabled.
     machine.telemetry.enabled = True
+    # Anomaly alerting over the same event stream: rules dimensioned to
+    # the storm window, so a burst inside it pages exactly once.
+    alert_window = window[1] - window[0] if window[1] > window[0] else 1.0
+    alerts = AlertEngine(
+        hub=machine.telemetry,
+        event_rules=default_event_rules(window=alert_window),
+    )
+    alerts.watch(machine.telemetry)
     audit = ClusterIvAudit()
     machine.cpu_endpoint.attach_audit(audit)
     machine.gpu.endpoint.attach_audit(audit)
@@ -88,7 +97,7 @@ def _run_once(scale, rate: float, policy: FaultPolicy, window: Tuple[float, floa
         ),
     )
     flexgen = engine.run()
-    return machine, runtime, injector, audit, flexgen
+    return machine, runtime, injector, audit, flexgen, alerts
 
 
 def fault_campaign(
@@ -101,7 +110,7 @@ def fault_campaign(
 
     # Dry run at rate 0 calibrates the storm window against the clean
     # elapsed time (faulted runs only take longer, never shorter).
-    _, _, _, _, dry = _run_once(scale, 0.0, _ADAPTIVE, (0.0, 0.0))
+    _, _, _, _, dry, _ = _run_once(scale, 0.0, _ADAPTIVE, (0.0, 0.0))
     t0 = dry.elapsed
     window = (0.15 * t0, 0.55 * t0)
 
@@ -111,7 +120,7 @@ def fault_campaign(
         columns=[
             "fault_rate", "policy", "throughput_tok_s", "p99_wire_ms",
             "success_rate", "injected", "auth_recoveries",
-            "mode_switches", "degraded_ms", "final_mode",
+            "mode_switches", "degraded_ms", "final_mode", "alerts",
         ],
     )
     result.add_note(
@@ -127,7 +136,7 @@ def fault_campaign(
         for pname, policy in (
             ("adaptive", _ADAPTIVE), ("pinned-speculative", _PINNED)
         ):
-            machine, runtime, injector, audit, flexgen = _run_once(
+            machine, runtime, injector, audit, flexgen, alerts = _run_once(
                 scale, rate, policy, window
             )
             stats = runtime.stats()
@@ -144,6 +153,7 @@ def fault_campaign(
                 mode_switches=int(stats["mode_switches"]),
                 degraded_ms=stats["degraded_seconds"] * 1e3,
                 final_mode=controller.mode.value,
+                alerts=len(alerts.alerts),
             )
 
             # -- acceptance invariants, asserted on every row ---------
@@ -167,6 +177,15 @@ def fault_campaign(
             if pname == "pinned-speculative" and entered:
                 raise AssertionError(
                     f"rate={rate}: pinned policy changed mode: {entered}"
+                )
+            if rate == 0 and alerts.alerts:
+                raise AssertionError(
+                    f"{pname}: anomaly alerts fired on a clean run: "
+                    f"{[a.rule for a in alerts.alerts]}"
+                )
+            if rate >= _ACCEPT_RATE and not alerts.alerts:
+                raise AssertionError(
+                    f"rate={rate} {pname}: storm produced no anomaly alert"
                 )
 
     clean = result.find(fault_rate=rates[0], policy="adaptive")

@@ -24,6 +24,11 @@ Commands:
   the continuous benchmark harness: run the pinned-seed suite, write a
   schema-versioned ``BENCH_<n>.json`` artifact, and/or diff two
   artifacts' key metrics (exit 1 on >5 % regression).
+* ``postmortem [--out DIR]`` — run a deterministic crash-and-recover
+  serving scenario with causal tracing, SLO burn-rate alerting and the
+  fault flight recorder armed, then write the post-mortem bundle
+  (``postmortem.json`` + Chrome ``trace.json`` + the critical-path
+  table). Byte-identical under one ``--seed``.
 * ``dash`` — live ASCII dashboard over a FlexGen offloading run:
   utilization bars, latency percentiles, speculation hit-rate,
   IV-audit status and the degradation mode, refreshed from simulated
@@ -241,6 +246,26 @@ def _build_parser() -> argparse.ArgumentParser:
                             "without a per-request waterfall")
     _add_fastpath_arg(trace)
 
+    pm = sub.add_parser(
+        "postmortem",
+        help="deterministic crash scenario → flight-recorder bundle, "
+             "Chrome trace and critical-path table",
+    )
+    pm.add_argument("--out", default=None, metavar="DIR",
+                    help="bundle directory (omit to print the bundle JSON)")
+    pm.add_argument("--replicas", type=int, default=2, metavar="N")
+    pm.add_argument("--rate", type=float, default=18.0, metavar="RPS",
+                    help="offered load (high enough to burn the SLO budget)")
+    pm.add_argument("--duration", type=float, default=6.0, metavar="S",
+                    help="arrival window (simulated seconds)")
+    pm.add_argument("--fail-at", type=float, default=2.0, metavar="T",
+                    help="crash replica 0 at simulated time T")
+    pm.add_argument("--recover-after", type=float, default=2.0, metavar="S")
+    pm.add_argument("--ring", type=int, default=256, metavar="N",
+                    help="flight-recorder ring size per machine")
+    pm.add_argument("--seed", type=int, default=None, metavar="N")
+    _add_fastpath_arg(pm)
+
     bench = sub.add_parser(
         "bench", help="continuous benchmark harness with regression gating"
     )
@@ -347,6 +372,94 @@ def _print_attrib(session, request_id: int, out) -> int:
               file=out)
         return 1
     return 0
+
+
+def _run_postmortem(args, out) -> int:
+    """``postmortem``: crash scenario → deterministic bundle on disk."""
+    from .core import ClusterConfig
+    from .serve import LoadSpec, run_serve
+    from .telemetry import recording
+    from .tracing import (
+        AlertEngine,
+        BurnRateRule,
+        FlightRecorder,
+        TraceCollector,
+        collecting,
+        default_event_rules,
+        postmortem_bundle,
+        render_critical_path_table,
+        write_postmortem,
+    )
+
+    seed = args.seed if args.seed is not None else 42
+    config = ClusterConfig(
+        replicas=args.replicas,
+        fail_at=args.fail_at,
+        fail_replica=0,
+        recover_after=args.recover_after,
+        seed=seed,
+    )
+    load = LoadSpec(rate=args.rate, duration=args.duration, seed=seed)
+    collector = TraceCollector()
+    recorder = FlightRecorder(ring_size=args.ring)
+    engine = AlertEngine(
+        slo_rules=(
+            BurnRateRule(
+                "slo-burn", "slo", budget=0.05,
+                long_window=max(1.0, args.duration / 2),
+                short_window=max(0.25, args.duration / 8),
+                threshold=2.0, min_samples=8,
+                cooldown=max(1.0, args.duration / 2),
+            ),
+        ),
+        event_rules=default_event_rules(window=max(0.5, args.duration / 4)),
+    )
+    with recording() as session, collecting(collector):
+        engine.attach_session(session)
+        recorder.attach_session(session)
+        result = run_serve(config, load, alerts=engine, seed=seed)
+        hubs = list(session.hubs)
+    end_time = max(
+        (event.time for hub in hubs for event in hub.events),
+        default=load.duration,
+    )
+    if not recorder.snapshots:
+        recorder.snapshot("end-of-run", end_time)
+    bundle = postmortem_bundle(
+        recorder=recorder,
+        collector=collector,
+        alerts=engine,
+        meta={
+            "command": "postmortem",
+            "seed": seed,
+            "replicas": args.replicas,
+            "rate": args.rate,
+            "duration": args.duration,
+            "fail_at": args.fail_at,
+            "recover_after": args.recover_after,
+            "offered": result.offered,
+            "completed": result.completed,
+            "shed": result.shed,
+            "failovers": result.failovers,
+            "crashes": result.crashes,
+        },
+    )
+    if args.out:
+        written = write_postmortem(args.out, bundle, hubs=hubs,
+                                   collector=collector)
+        for name, path in sorted(written.items()):
+            print(f"wrote {name}: {path}", file=out)
+        print(
+            f"postmortem: {len(recorder.snapshots)} snapshots, "
+            f"{len(engine.alerts)} alerts, "
+            f"{bundle['closure']['traces_checked']} traces "
+            f"({len(bundle['closure']['problems'])} closure problems)",
+            file=out,
+        )
+    else:
+        print(json.dumps(bundle, indent=2, sort_keys=True), file=out)
+    print(render_critical_path_table(collector), file=out)
+    return 1 if bundle["closure"]["problems"] else 0
 
 
 def _run_bench(args, out) -> int:
@@ -613,6 +726,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _run_cluster(args, out)
     if args.command == "serve":
         return _run_serve(args, out)
+    if args.command == "postmortem":
+        return _run_postmortem(args, out)
     if args.command == "bench":
         return _run_bench(args, out)
     if args.command == "dash":

@@ -33,6 +33,7 @@ from ..core import ClusterConfig
 from ..sim import Simulator
 from ..sim.stats import MetricSet
 from ..telemetry import ClusterEvent, TelemetryHub, active_session
+from ..tracing import active_collector
 from .replica import ClusterRequest, Replica
 from .routing import RoutingPolicy, make_policy
 from .tenant import ClusterIvAudit, TenantChannel
@@ -84,6 +85,10 @@ class Gateway:
         self.shed: List[ClusterRequest] = []
         self.handshakes = 0
         self.failovers = 0
+        #: Trace roots this gateway minted itself (cluster-only runs,
+        #: where no serving front end owns the request lifecycle);
+        #: rid → root context, closed at completion or shedding.
+        self._minted_roots: Dict[int, object] = {}
 
         self._wake = sim.event()
         sim.process(self._dispatch_loop())
@@ -95,6 +100,19 @@ class Gateway:
         if len(self.queue) >= self.config.queue_capacity:
             self._shed(creq, "capacity")
             return
+        collector = active_collector()
+        if collector is not None:
+            if creq.trace is None:
+                # No front end minted a root (plain cluster workload):
+                # the gateway owns this request's trace end to end.
+                creq.trace = collector.start_trace(
+                    f"cluster.req-{creq.rid}", "request", "request",
+                    "gateway", self.sim.now,
+                )
+                self._minted_roots[creq.rid] = creq.trace
+            creq.trace_queue = collector.begin(
+                creq.trace, "queue", "queue", "gateway", self.sim.now
+            )
         creq.state = "queued"
         self.queue.append(creq)
         self._record_depth()
@@ -112,6 +130,9 @@ class Gateway:
             self._shed(creq, "timeout")
 
     def _shed(self, creq: ClusterRequest, reason: str) -> None:
+        self._trace_close(creq, "trace_queue", status=f"shed:{reason}")
+        self._trace_close(creq, "trace_attempt", status=f"shed:{reason}")
+        self._close_minted_root(creq, status=f"shed:{reason}")
         creq.state = "shed"
         creq.finish_time = self.sim.now
         self.shed.append(creq)
@@ -148,6 +169,8 @@ class Gateway:
         ]
 
     def _dispatch(self, creq: ClusterRequest, replica: Replica):
+        self._trace_close(creq, "trace_queue")
+        hs_start = self.sim.now
         key = (creq.tenant, replica.replica_id, replica.epoch)
         while True:
             channel = self._channels.get(key)
@@ -182,6 +205,13 @@ class Gateway:
         if not replica.alive or replica.epoch != key[2]:
             self._requeue(creq)
             return
+        collector = active_collector()
+        if collector is not None and creq.trace is not None \
+                and self.sim.now > hs_start:
+            # Attested key-exchange wait (shared or owned) — the AES
+            # session-establishment leg of this request's path.
+            collector.add(creq.trace, "handshake", "handshake", "gateway",
+                          hs_start, self.sim.now)
         # The request ciphertext makes a functional round trip: the
         # tenant encrypts under its next TX IV, the replica decrypts
         # (GCM tag verified) — any desync or replay raises here.
@@ -195,6 +225,14 @@ class Gateway:
         self.metrics.counter("cluster.gateway.dispatched").add()
         self._emit("dispatch", creq, replica=replica.replica_id,
                    detail=self.policy.name)
+        if collector is not None and creq.trace is not None:
+            # One span per delivery attempt: failover closes it with
+            # a "failover" status and the retry opens attempt-N+1, so
+            # crashes never leave a dangling span.
+            creq.trace_attempt = collector.begin(
+                creq.trace, f"attempt-{creq.attempts}", "service",
+                f"replica-{replica.replica_id}", self.sim.now,
+            )
         replica.submit(creq)
 
     def _channel_for(self, tenant: str, replica: Replica) -> Optional[TenantChannel]:
@@ -202,6 +240,12 @@ class Gateway:
 
     def _requeue(self, creq: ClusterRequest) -> None:
         """Front-of-queue re-admission (failover path; no capacity check)."""
+        self._trace_close(creq, "trace_attempt", status="failover")
+        collector = active_collector()
+        if collector is not None and creq.trace is not None:
+            creq.trace_queue = collector.begin(
+                creq.trace, "queue", "queue", "gateway", self.sim.now
+            )
         creq.state = "queued"
         self.queue.appendleft(creq)
         self._record_depth()
@@ -230,6 +274,8 @@ class Gateway:
             )
         response = channel.send_response(b"tokens:" + creq.payload)
         channel.recv_response(response)
+        self._trace_close(creq, "trace_attempt")
+        self._close_minted_root(creq, status="ok")
         creq.state = "done"
         creq.finish_time = self.sim.now
         self.completed.append(creq)
@@ -279,6 +325,29 @@ class Gateway:
         self._emit("recover", None, replica=replica_id,
                    detail=f"epoch={replica.epoch}")
         self._kick()
+
+    # -- causal tracing --------------------------------------------------
+
+    def _trace_close(
+        self, creq: ClusterRequest, attr: str, status: str = "ok"
+    ) -> None:
+        """Close and clear one of the request's open gateway spans."""
+        ctx = getattr(creq, attr)
+        if ctx is None:
+            return
+        setattr(creq, attr, None)
+        collector = active_collector()
+        if collector is not None:
+            collector.end(ctx, self.sim.now, status=status)
+
+    def _close_minted_root(self, creq: ClusterRequest, status: str) -> None:
+        """Close the root span iff this gateway minted it."""
+        root = self._minted_roots.pop(creq.rid, None)
+        if root is None:
+            return
+        collector = active_collector()
+        if collector is not None:
+            collector.end(root, self.sim.now, status=status)
 
     # -- accounting ------------------------------------------------------
 

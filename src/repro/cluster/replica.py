@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..cc import CcMode, CudaContext, Machine, build_attested_machine
 from ..core import PipeLLMRuntime
@@ -39,6 +39,7 @@ from ..models import KvGeometry, LayerWork, ModelSpec, TransformerCostModel
 from ..serving.vllm.block_manager import BlockManager
 from ..serving.vllm.scheduler import GroupState, SequenceGroup
 from ..sim import Simulator, mean
+from ..tracing import active_collector
 from ..workloads import Request
 
 __all__ = ["ClusterRequest", "Replica", "ReplicaDead"]
@@ -80,6 +81,12 @@ class ClusterRequest:
     #: Replica ids this request touched, in order.
     replica_history: List[int] = field(default_factory=list)
     prefix_hit: bool = False
+    #: Causal-trace linkage (transient; set only when a collector is
+    #: active): the request's trace context plus the currently open
+    #: queue/attempt spans the gateway manages across failovers.
+    trace: Optional[Any] = None
+    trace_queue: Optional[Any] = None
+    trace_attempt: Optional[Any] = None
 
     @property
     def latency(self) -> float:
@@ -278,10 +285,11 @@ class Replica:
             # hits still cost one small control transfer.
             for served in admitted:
                 size = max(4 * served.prefill_tokens, _PAYLOAD_BYTES)
-                self.runtime.memcpy_h2d(MemoryChunk(
-                    self._token_in.addr, size, b"\x01" * _PAYLOAD_BYTES,
-                    f"r{self.replica_id}.tokens.in",
-                ))
+                with self.machine.telemetry.bound_trace(served.creq.trace_attempt):
+                    self.runtime.memcpy_h2d(MemoryChunk(
+                        self._token_in.addr, size, b"\x01" * _PAYLOAD_BYTES,
+                        f"r{self.replica_id}.tokens.in",
+                    ))
             yield self.runtime.synchronize()
             for served, region in resumed:
                 self.machine.host_memory.free(region)
@@ -292,6 +300,15 @@ class Replica:
             work = self._step_work(admitted)
             yield self.machine.gpu.compute(work.flops, work.bytes_touched, layers=work.layers)
             sim.tracer.record(f"cluster.replica-{self.replica_id}", "step", step_start, sim.now)
+            collector = active_collector()
+            if collector is not None and sim.now > step_start:
+                for served in self.running:
+                    if served.creq.trace_attempt is not None:
+                        collector.add(
+                            served.creq.trace_attempt, "step", "compute",
+                            f"replica-{self.replica_id}.e{self.epoch}",
+                            step_start, sim.now,
+                        )
 
             # Sampled tokens return as a small transfer (not waited on).
             seqs = sum(s.group.request.parallel_n for s in self.running)
@@ -316,7 +333,8 @@ class Replica:
             region = served.group.swap_region
             if region is None:
                 raise RuntimeError(f"{served.group.owner} swapped without a region")
-            self.runtime.memcpy_h2d(self.machine.host_memory.chunk_at(region.addr))
+            with self.machine.telemetry.bound_trace(served.creq.trace_attempt):
+                self.runtime.memcpy_h2d(self.machine.host_memory.chunk_at(region.addr))
             self.swap_in_count += 1
             served.group.state = GroupState.RUNNING
             served.creq.state = "running"
@@ -393,7 +411,8 @@ class Replica:
         region = self.machine.host_memory.allocate(nbytes, tag=tag)
         group.swap_region = region
         self.machine.gpu._contents[tag] = payload
-        handle = self.runtime.memcpy_d2h(MemoryChunk(region.addr, nbytes, payload, tag))
+        with self.machine.telemetry.bound_trace(served.creq.trace_attempt):
+            handle = self.runtime.memcpy_d2h(MemoryChunk(region.addr, nbytes, payload, tag))
         yield handle.api_done
         self.blocks.free_owner(group.owner)
         group.state = GroupState.SWAPPED

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..crypto import SessionEndpoint, derive_link_session
 from ..sim import BandwidthPipe, Event, Simulator
 from ..telemetry import LinkEvent
+from ..tracing import active_collector
 from .engine import CryptoEngine
 from .gpu import GpuEnclave
 from .params import HardwareParams
@@ -152,6 +153,8 @@ class Interconnect:
         #: whose budget ran out, mirroring :class:`repro.hw.pcie.PcieLink`.
         self.replays = 0
         self.retry_exhausted = 0
+        #: Monotone hop counter for deterministic per-hop trace ids.
+        self._trace_seq = 0
 
     # -- wiring ----------------------------------------------------------
 
@@ -220,7 +223,8 @@ class Interconnect:
         return self.sim.process(self._p2p_hop(src, dst, payload, nbytes, tag, collective))
 
     def _finish_hop(self, start: float, src: int, dst: int, nbytes: int,
-                    mode: str, strategy: str, collective: str, record) -> None:
+                    mode: str, strategy: str, collective: str, record,
+                    root=None) -> None:
         self.link_log.append(LinkRecord(start, src, dst, nbytes, mode, strategy))
         hub = self.telemetry
         if hub is not None:
@@ -232,6 +236,10 @@ class Interconnect:
             if record is not None:
                 hub.mark_api_done(record, self.sim.now)
                 hub.mark_complete(record, self.sim.now)
+        if root is not None:
+            collector = active_collector()
+            if collector is not None:
+                collector.end(root, self.sim.now)
 
     def _begin_record(self, dst: int, nbytes: int, tag: str):
         hub = self.telemetry
@@ -240,9 +248,32 @@ class Interconnect:
         return hub.begin_request("link", addr=dst, size=nbytes,
                                  time=self.sim.now, tag=tag)
 
+    def _begin_hop_trace(self, record, src: int, dst: int):
+        """Mint a per-hop root trace for fabric hops no request owns.
+
+        Hops issued under a bound request trace already carry that
+        context on their lifecycle record; everything else (collective
+        steps in the parallel engines) gets its own deterministic
+        ``<machine>.hop-<n>`` trace so attribution covers the fabric.
+        """
+        if record is None or record.trace is not None:
+            return None
+        collector = active_collector()
+        if collector is None:
+            return None
+        label = self.telemetry.label or "fabric"
+        self._trace_seq += 1
+        root = collector.begin(
+            None, f"hop {src}->{dst}", "request", label, self.sim.now,
+            trace_id=f"{label}.hop-{self._trace_seq}",
+        )
+        record.trace = root
+        return root
+
     def _p2p_hop(self, src, dst, payload, nbytes, tag, collective):
         start = self.sim.now
         record = self._begin_record(dst, nbytes, tag)
+        root = self._begin_hop_trace(record, src, dst)
         self.hops += 1
         self.p2p_bytes += nbytes
         yield self._leg(self._p2p_pipe(src, dst), nbytes, f"p2p:{src}->{dst}")
@@ -252,7 +283,8 @@ class Interconnect:
             record.mark_stage("interconnect", start, self.sim.now)
         if tag:
             self.gpus[dst].store_plaintext(tag, payload)
-        self._finish_hop(start, src, dst, nbytes, "p2p", "", collective, record)
+        self._finish_hop(start, src, dst, nbytes, "p2p", "", collective, record,
+                         root=root)
         return payload
 
     def _bounce_hop(self, src, dst, payload, nbytes, tag, collective):
@@ -263,6 +295,7 @@ class Interconnect:
         self.hops += 1
         self.bounce_bytes += nbytes
         record = self._begin_record(dst, nbytes, tag)
+        root = self._begin_hop_trace(record, src, dst)
 
         staged = False
         if self.speculator is not None:
@@ -353,7 +386,8 @@ class Interconnect:
             self.telemetry.metrics.counter(
                 f"interconnect.spec_{'hits' if staged else 'misses'}"
             ).add()
-        self._finish_hop(start, src, dst, nbytes, "bounce", strategy, collective, record)
+        self._finish_hop(start, src, dst, nbytes, "bounce", strategy, collective,
+                         record, root=root)
         return delivered
 
     # -- fault-aware DMA legs --------------------------------------------

@@ -128,6 +128,27 @@ class Dashboard:
                 f"   shed {int(gateway_counters.get('serve.shed', 0))}"
             )
 
+        tap_hub = self.machine.telemetry
+        if tap_hub.enabled:
+            from ..telemetry.export import event_lane
+
+            lane_counts: Dict[str, int] = {}
+            for event in tap_hub.events:
+                lane = event_lane(event)
+                lane_counts[lane] = lane_counts.get(lane, 0) + 1
+            lanes = "  ".join(
+                f"{lane}={count}" for lane, count in sorted(lane_counts.items())
+            ) or "none"
+            lines.append("")
+            lines.append("telemetry")
+            lines.append(
+                f"  events {len(tap_hub.events)}"
+                f"   ring-dropped {tap_hub.dropped_events}"
+                f"   tap-dropped "
+                f"{int(counters.get('telemetry.tap.dropped_events', 0))}"
+            )
+            lines.append(f"  lanes: {lanes}")
+
         lines.append("")
         endpoint = self.machine.cpu_endpoint
         if endpoint is not None:

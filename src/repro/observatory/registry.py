@@ -41,10 +41,20 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double-quote and line-feed are the three escapes."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _label_str(names: Sequence[str], values: LabelValues) -> str:
     if not names:
         return ""
-    inner = ",".join(f'{n}="{v}"' for n, v in zip(names, values))
+    inner = ",".join(
+        f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
+    )
     return "{" + inner + "}"
 
 

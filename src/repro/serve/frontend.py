@@ -34,6 +34,7 @@ from ..cluster import Cluster
 from ..cluster.replica import ClusterRequest
 from ..sim import mean, percentile
 from ..telemetry import ServeEvent, TelemetryHub, active_session
+from ..tracing import active_collector
 from ..workloads import Request
 from .admission import SloSpec, make_admission
 from .api import CompletionRequest, CompletionResponse, StreamChunk, Usage
@@ -61,6 +62,12 @@ class _ServeRecord:
     stream_open: bool = False
     done: bool = False
     chunks: List[StreamChunk] = field(default_factory=list)
+    #: Root causal span of the request's trace (None when no
+    #: collector is active); closed exactly once, at completion or
+    #: shedding, so the DAG never dangles.
+    trace_root: Optional[Any] = None
+    #: Open admission-hold span (queueing time before release).
+    trace_hold: Optional[Any] = None
 
     @property
     def lane(self) -> str:
@@ -144,8 +151,13 @@ class ServeFrontend:
         slo: Optional[SloSpec] = None,
         admission: str = "slo",
         hold_capacity: Optional[int] = None,
+        alerts=None,
     ) -> None:
         self.cluster = cluster
+        #: Optional :class:`repro.tracing.AlertEngine`; fed one
+        #: pass/fail SLO sample per resolved request (completions
+        #: report attainment, sheds always count as misses).
+        self.alerts = alerts
         self.gateway = cluster.gateway
         self.sim = cluster.sim
         self.config = cluster.config
@@ -167,6 +179,8 @@ class ServeFrontend:
         session = active_session()
         if session is not None:
             session.register(self.telemetry)
+        if self.alerts is not None and self.alerts.hub is None:
+            self.alerts.hub = self.telemetry
 
         self.records: Dict[int, _ServeRecord] = {}
         self.responses: List[CompletionResponse] = []
@@ -180,6 +194,16 @@ class ServeFrontend:
         self.offered += 1
         rec = _ServeRecord(request=request, creq=self._wrap(request))
         self.records[request.request_id] = rec
+        collector = active_collector()
+        if collector is not None:
+            # Mint the request's trace at admission: the root span is
+            # the end-to-end request, and the context rides the
+            # ClusterRequest through gateway, replica and runtime.
+            rec.trace_root = collector.start_trace(
+                f"serve.req-{request.request_id}", "request", "request",
+                "serve", self.sim.now,
+            )
+            rec.creq.trace = rec.trace_root
         self._emit("arrive", rec)
         decision = self.admission.offer(request, self.sim.now)
         if decision == "admit":
@@ -187,6 +211,10 @@ class ServeFrontend:
             self.gateway.submit(rec.creq)
         elif decision == "hold":
             self._emit("hold", rec)
+            if rec.trace_root is not None:
+                rec.trace_hold = collector.begin(
+                    rec.trace_root, "hold", "hold", "serve", self.sim.now
+                )
             self.sim.process(self._deadline_watch(rec))
             self._pump()
         else:
@@ -240,6 +268,8 @@ class ServeFrontend:
                         self.admission.on_done(request)
                         continue
                     self._emit("admit", rec)
+                    self._trace_close(rec.trace_hold)
+                    rec.trace_hold = None
                     self.gateway.submit(rec.creq)
                     progressed = True
                 if not progressed:
@@ -247,6 +277,14 @@ class ServeFrontend:
         finally:
             self._pumping = False
         self._record_held()
+
+    def _trace_close(self, ctx, status: str = "ok") -> None:
+        """Close one causal span at the current simulated time."""
+        if ctx is None:
+            return
+        collector = active_collector()
+        if collector is not None:
+            collector.end(ctx, self.sim.now, status=status)
 
     # -- gateway listener hooks ------------------------------------------
 
@@ -301,8 +339,13 @@ class ServeFrontend:
             tpot = (now - rec.first_token_time) / (tokens - 1)
             self.gateway.metrics.latency("serve.tpot_s").record(tpot)
         self.gateway.metrics.counter("serve.completed").add()
-        if self.slo.attained(rec.request.tier, ttft, tpot):
+        attained = self.slo.attained(rec.request.tier, ttft, tpot)
+        if attained:
             self.gateway.metrics.counter("serve.slo_attained").add()
+        if self.alerts is not None:
+            self.alerts.observe_slo(now, attained)
+        self._trace_close(rec.trace_root)
+        rec.trace_root = None
         self._emit("complete", rec, detail=f"tokens={tokens}")
         self.responses.append(CompletionResponse(
             request=rec.request,
@@ -340,8 +383,14 @@ class ServeFrontend:
         if rec.stream_open:
             self.telemetry.tracer.end(rec.lane, "stream", now)
             rec.stream_open = False
+        self._trace_close(rec.trace_hold)
+        rec.trace_hold = None
+        self._trace_close(rec.trace_root, status=f"shed:{reason}")
+        rec.trace_root = None
         self.gateway.metrics.counter("serve.shed").add()
         self.gateway.metrics.counter(f"serve.shed.{reason}").add()
+        if self.alerts is not None:
+            self.alerts.observe_slo(now, False)
         self._emit("shed", rec, detail=reason)
         self.responses.append(CompletionResponse(
             request=rec.request,
@@ -457,13 +506,15 @@ def run_serve(
     params=None,
     seed: Optional[int] = None,
     until: Optional[float] = None,
+    alerts=None,
 ) -> ServeResult:
     """Build a cluster + front end, generate load, run, summarize."""
     from ..models import OPT_13B
 
     cluster = Cluster(config, spec=spec if spec is not None else OPT_13B,
                       params=params)
-    frontend = ServeFrontend(cluster, slo=slo, admission=admission)
+    frontend = ServeFrontend(cluster, slo=slo, admission=admission,
+                             alerts=alerts)
     requests = generate_load(load, seed=seed)
     result = frontend.run(requests, duration=load.duration, until=until)
     result.trace = load.trace.name

@@ -12,6 +12,7 @@ The observability layer every other subsystem reports through:
 """
 
 from .events import (
+    AlertEvent,
     ClusterEvent,
     FaultEvent,
     InjectionEvent,
@@ -40,6 +41,7 @@ from .hub import (
 )
 
 __all__ = [
+    "AlertEvent",
     "ClusterEvent",
     "EventTap",
     "FaultEvent",

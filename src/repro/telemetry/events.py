@@ -37,6 +37,7 @@ __all__ = [
     "ClusterEvent",
     "LinkEvent",
     "ServeEvent",
+    "AlertEvent",
 ]
 
 
@@ -171,6 +172,22 @@ class ServeEvent(TelemetryEvent):
     tier: str = ""
     token_index: int = -1
     #: Shed reason, admission policy note, etc.
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class AlertEvent(TelemetryEvent):
+    """An alert rule fired (:class:`repro.tracing.alerts.AlertEngine`).
+
+    ``burn_rate`` is the long-window budget-burn multiple for SLO
+    rules, or the count/threshold ratio for anomaly-burst rules;
+    ``window_s`` is the window the firing was evaluated over.
+    """
+
+    rule: str
+    severity: str = "page"
+    burn_rate: float = 0.0
+    window_s: float = 0.0
     detail: str = ""
 
 

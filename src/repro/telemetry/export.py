@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Sequence
 
 from ..sim.tracing import render_gantt
 from .events import (
+    AlertEvent,
     ClusterEvent,
     FaultEvent,
     InjectionEvent,
@@ -35,6 +36,7 @@ from .hub import TelemetryHub
 __all__ = [
     "canonical_lane",
     "chrome_trace",
+    "event_lane",
     "flat_metrics",
     "metrics_csv",
     "ascii_gantt",
@@ -78,7 +80,13 @@ _EVENT_LANES = {
     InjectionEvent: "injected-faults",
     RecoveryEvent: "recovery",
     ClusterEvent: "cluster",
+    AlertEvent: "alerts",
 }
+
+def event_lane(event) -> str:
+    """Telemetry lane one typed event renders on ("events" fallback)."""
+    return _EVENT_LANES.get(type(event), "events")
+
 
 #: µs per simulated second (Chrome trace timestamps are microseconds).
 _US = 1e6
@@ -122,7 +130,7 @@ def chrome_trace(hubs: Iterable[TelemetryHub]) -> Dict[str, Any]:
             )
 
         for event in hub.events:
-            lane = _EVENT_LANES.get(type(event), "events")
+            lane = event_lane(event)
             trace_events.append(
                 {"name": f"{event.kind}:{_event_title(event)}", "cat": event.kind,
                  "ph": "i", "s": "t", "ts": event.time * _US,
@@ -136,11 +144,18 @@ def chrome_trace(hubs: Iterable[TelemetryHub]) -> Dict[str, Any]:
             if math.isnan(end):
                 continue  # Still in flight when the run stopped.
             name = record.outcome or record.strategy or record.kind or record.direction
+            # A crash can leave api-done records that never landed;
+            # their nan timestamps would serialize as bare ``NaN``
+            # tokens, which strict JSON parsers reject.
+            args = {
+                k: (None if isinstance(v, float) and math.isnan(v) else v)
+                for k, v in record.as_dict().items()
+            }
             trace_events.append(
                 {"name": f"{record.direction} {name}".strip(), "cat": "request",
                  "ph": "X", "ts": record.submit_time * _US,
                  "dur": max(0.0, end - record.submit_time) * _US,
-                 "pid": pid, "tid": tids["requests"], "args": record.as_dict()}
+                 "pid": pid, "tid": tids["requests"], "args": args}
             )
 
         machines.append(_hub_summary(hub, label))
@@ -153,6 +168,8 @@ def chrome_trace(hubs: Iterable[TelemetryHub]) -> Dict[str, Any]:
 
 
 def _event_title(event) -> str:
+    if isinstance(event, AlertEvent):
+        return event.rule
     if isinstance(event, ClusterEvent):
         return event.action
     if isinstance(event, (InjectionEvent, RecoveryEvent)):

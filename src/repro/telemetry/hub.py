@@ -76,6 +76,10 @@ class RequestRecord:
     nops_padded: int = 0
     #: The request was suspended to the batch boundary (§5.3).
     deferred: bool = False
+    #: Causal trace context bound at submission (the parent span the
+    #: completed record is adopted under); None outside tracing runs.
+    #: See :mod:`repro.tracing.context`.
+    trace: Optional[Any] = None
     api_done_time: float = math.nan
     complete_time: float = math.nan
     #: Exact critical-path intervals ``(stage, start, end)`` recorded
@@ -102,7 +106,7 @@ class RequestRecord:
         return self.complete_time - self.submit_time
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "request_id": self.request_id,
             "direction": self.direction,
             "addr": self.addr,
@@ -121,6 +125,12 @@ class RequestRecord:
             "complete_time": self.complete_time,
             "stages": [list(stage) for stage in self.stages],
         }
+        if self.trace is not None:
+            # Only traced runs carry the linkage keys, so untraced
+            # exports (and their golden files) are unchanged.
+            out["trace_id"] = self.trace.trace_id
+            out["parent_span_id"] = self.trace.span_id
+        return out
 
 
 class EventTap:
@@ -194,6 +204,9 @@ class TelemetryHub:
         self.max_events: Optional[int] = None
         self._subscribers: List[Callable[[TelemetryEvent], None]] = []
         self._next_request_id = 0
+        #: Trace context stamped onto records opened while bound (see
+        #: :meth:`bound_trace`); None outside causal-tracing runs.
+        self._bound_trace = None
         self.enabled = enabled
 
     # -- enablement -----------------------------------------------------
@@ -242,6 +255,25 @@ class TelemetryHub:
 
     # -- per-request lifecycle ------------------------------------------
 
+    @contextlib.contextmanager
+    def bound_trace(self, ctx):
+        """Stamp ``ctx`` onto every record opened inside the block.
+
+        The runtime's memcpy API opens its lifecycle record
+        synchronously at the call, so a caller that knows *whose*
+        transfer it is issuing (the replica loop, the interconnect)
+        binds the request's trace context around the call and the
+        record — and, on completion, its causal spans — attach to the
+        right request DAG. Binding ``None`` is a no-op, so call sites
+        need no tracing-enabled check.
+        """
+        previous = self._bound_trace
+        self._bound_trace = ctx
+        try:
+            yield
+        finally:
+            self._bound_trace = previous
+
     def begin_request(
         self, direction: str, addr: int, size: int, time: float, tag: str = ""
     ) -> Optional[RequestRecord]:
@@ -255,6 +287,7 @@ class TelemetryHub:
             size=size,
             submit_time=time,
             tag=tag,
+            trace=self._bound_trace,
         )
         self._next_request_id += 1
         self.requests.append(record)
@@ -271,6 +304,14 @@ class TelemetryHub:
         self.metrics.histogram(
             "telemetry.transfer_bytes", TRANSFER_SIZE_BUCKETS
         ).record(float(record.size))
+        if record.trace is not None:
+            # Lazy import: repro.tracing imports telemetry events, so
+            # a module-level import here would be circular.
+            from ..tracing import active_collector
+
+            collector = active_collector()
+            if collector is not None:
+                collector.adopt_record(record, machine=self.label)
 
     def outcome_counts(self) -> Dict[str, int]:
         """Validation outcome counts over the recorded swap-in requests."""
@@ -299,6 +340,10 @@ class TraceSession:
     def __init__(self, max_events_per_hub: Optional[int] = None) -> None:
         self.hubs: List[TelemetryHub] = []
         self.max_events_per_hub = max_events_per_hub
+        #: Optional callback invoked with each newly registered hub —
+        #: how the flight recorder starts watching machines that boot
+        #: mid-run (replica re-attestation after a crash).
+        self.on_register: Optional[Callable[[TelemetryHub], None]] = None
 
     def register(self, hub: TelemetryHub) -> None:
         hub.max_events = self.max_events_per_hub
@@ -306,6 +351,8 @@ class TraceSession:
         if not hub.label:
             hub.label = f"machine-{len(self.hubs)}"
         self.hubs.append(hub)
+        if self.on_register is not None:
+            self.on_register(hub)
 
 
 _SESSIONS: List[TraceSession] = []

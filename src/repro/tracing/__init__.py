@@ -1,0 +1,78 @@
+"""Causal request tracing, burn-rate alerting, flight recording.
+
+The diagnosability layer over :mod:`repro.telemetry`:
+
+* :class:`TraceContext` / :class:`TraceCollector` — deterministic
+  trace-context propagation: one context minted per request at the
+  serving front end (or gateway, or per interconnect hop) and
+  threaded through every layer, yielding one causal span DAG per
+  request instead of flat per-machine lanes;
+* :mod:`repro.tracing.critical_path` — exact critical-path extraction
+  over those DAGs (the chain telescopes to the measured request
+  latency float-exactly), DAG closure checks, and fleet-level
+  attribution with encryption-/bridge-/pcie-/compute-bound verdicts;
+* :class:`AlertEngine` — multi-window SLO burn-rate alerting plus
+  anomaly-burst rules over the recovery-event stream, in simulated
+  time only;
+* :class:`FlightRecorder` — bounded per-machine event rings that
+  snapshot on crash/auth-failure/alert, feeding the deterministic
+  post-mortem bundle behind ``python -m repro postmortem``.
+"""
+
+from .alerts import Alert, AlertEngine, BurnRateRule, EventRule, default_event_rules
+from .context import (
+    ROOT_PARENT,
+    CausalSpan,
+    TraceCollector,
+    TraceContext,
+    active_collector,
+    collecting,
+)
+from .critical_path import (
+    CLASS_VERDICTS,
+    STAGE_CLASSES,
+    FleetAttribution,
+    Segment,
+    TraceCriticalPath,
+    check_closure,
+    critical_path,
+    critical_path_duration,
+    extract_trace,
+    fleet_attribution,
+    stage_class,
+)
+from .recorder import (
+    FlightRecorder,
+    postmortem_bundle,
+    render_critical_path_table,
+    write_postmortem,
+)
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "BurnRateRule",
+    "CLASS_VERDICTS",
+    "CausalSpan",
+    "EventRule",
+    "FleetAttribution",
+    "FlightRecorder",
+    "ROOT_PARENT",
+    "STAGE_CLASSES",
+    "Segment",
+    "TraceCollector",
+    "TraceContext",
+    "TraceCriticalPath",
+    "active_collector",
+    "check_closure",
+    "collecting",
+    "critical_path",
+    "critical_path_duration",
+    "default_event_rules",
+    "extract_trace",
+    "fleet_attribution",
+    "postmortem_bundle",
+    "render_critical_path_table",
+    "stage_class",
+    "write_postmortem",
+]

@@ -53,6 +53,16 @@ class TestPanels:
         assert summary["requests_profiled"] > 0
         assert 0.0 < summary["speculation_hit_rate"] <= 1.0
 
+    def test_frame_carries_the_telemetry_panel(self):
+        last = run(render=True).frames[-1]
+        assert "telemetry" in last
+        assert "ring-dropped" in last and "tap-dropped" in last
+        assert "lanes:" in last
+        # Lane counts come from the typed event stream; a PipeLLM run
+        # always speculates, so that lane must be populated.
+        lanes_line = next(l for l in last.splitlines() if "lanes:" in l)
+        assert "speculation=" in lanes_line
+
     def test_sink_receives_frames(self):
         received = []
         result = run(render=True, sink=received.append)

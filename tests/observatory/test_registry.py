@@ -70,6 +70,25 @@ class TestExposition:
         assert "repro_lat_count 1" in text
         assert text.endswith("\n")
 
+    def test_label_value_escaping_conformance(self):
+        """Prometheus exposition format: backslash, double-quote and
+        line-feed are escaped in label values — and nothing else."""
+        registry = MetricsRegistry(namespace="repro")
+        family = registry.gauge("util", labels=("resource",))
+        family.labels('back\\slash "quoted"\nnewline').set(1.0)
+        family.labels("plain{}=,").set(2.0)
+        text = registry.exposition(horizon=1.0)
+        assert (
+            'repro_util{resource="back\\\\slash \\"quoted\\"\\nnewline"} 1'
+            in text
+        )
+        # Braces, equals and commas are legal inside quoted values and
+        # must pass through untouched.
+        assert 'repro_util{resource="plain{}=,"} 2' in text
+        # The escaped exposition stays one-line-per-sample parseable.
+        for line in text.splitlines():
+            assert "\n" not in line
+
     def test_snapshot_mirrors_exposition(self):
         registry = MetricsRegistry()
         registry.counter("hits").inc(3)
