@@ -38,6 +38,7 @@ from .parallel import FULL_GPU_COUNTS, QUICK_GPU_COUNTS, parallel_scaling
 from .systems import CC, SystemSpec, WITHOUT_CC, cc_threads, pipellm, pipellm_zero
 from .claims import CLAIMS, Claim, ClaimOutcome, verify_claims
 from .cluster import cluster_scaling
+from .disagg import STRESS_TRACE, disagg_frontier
 from .extensions import extension_layerwise_fifo, extension_zero_offload
 from .serve import serve_frontier
 from .teeio import TEEIO_LINE_RATE, extension_teeio_scaling, teeio_params
@@ -63,6 +64,8 @@ __all__ = [
     "ClaimOutcome",
     "verify_claims",
     "cluster_scaling",
+    "STRESS_TRACE",
+    "disagg_frontier",
     "fault_campaign",
     "FULL_FAULT_RATES",
     "QUICK_FAULT_RATES",

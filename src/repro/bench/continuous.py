@@ -3,8 +3,9 @@
 Runs a pinned-seed suite over the repo's standing campaigns — the
 Fig. 2 microbenchmark, FlexGen offloading under CC and PipeLLM (with
 full critical-path attribution from :mod:`repro.observatory`), the
-multi-replica cluster, a fault storm, multi-GPU parallel decode and
-the online-serving front end — and writes one
+multi-replica cluster, a fault storm, multi-GPU parallel decode, the
+online-serving front end and the disaggregated prefill/decode fleet —
+and writes one
 schema-versioned ``BENCH_<n>.json`` artifact per run: throughput,
 per-stage attribution, speculation stats, bottleneck verdicts and
 wall-clock.
@@ -84,6 +85,9 @@ class SuiteScale:
     # positional-compatible).
     serve_rate: float = 24.0
     serve_duration: float = 5.0
+    # Disaggregated prefill/decode campaign (appended, same rule).
+    disagg_rate: float = 12.0
+    disagg_duration: float = 4.0
 
 
 SUITES: Dict[str, SuiteScale] = {
@@ -93,6 +97,7 @@ SUITES: Dict[str, SuiteScale] = {
         fig2_transfers=64,
         parallel_gpus=2, parallel_batch=64, parallel_tokens=3,
         serve_rate=24.0, serve_duration=5.0,
+        disagg_rate=12.0, disagg_duration=4.0,
     ),
     "smoke": SuiteScale(
         name="smoke", flexgen_requests=16, flexgen_output=4,
@@ -100,6 +105,7 @@ SUITES: Dict[str, SuiteScale] = {
         fig2_transfers=32,
         parallel_gpus=2, parallel_batch=32, parallel_tokens=2,
         serve_rate=16.0, serve_duration=3.0,
+        disagg_rate=8.0, disagg_duration=2.5,
     ),
 }
 
@@ -284,6 +290,40 @@ def _serve_campaign(suite: SuiteScale) -> Dict[str, Any]:
     return out
 
 
+def _disagg_campaign(suite: SuiteScale, seed: int) -> Dict[str, Any]:
+    """Disaggregated prefill/decode vs monolithic at one offered load."""
+    from ..core import DisaggConfig
+    from ..disagg import run_disagg
+
+    out: Dict[str, Any] = {
+        "rate_rps": suite.disagg_rate,
+        "duration_s": suite.disagg_duration,
+    }
+    configs = {
+        "mono": DisaggConfig(prefill_workers=0, decode_workers=4,
+                             system="cc", seed=seed),
+        "disagg": DisaggConfig(prefill_workers=1, decode_workers=3,
+                               system="pipellm", seed=seed),
+    }
+    for label, config in configs.items():
+        run = run_disagg(
+            config, rate=suite.disagg_rate, duration=suite.disagg_duration
+        )
+        out[label] = {
+            "offered": run.offered,
+            "completed": run.completed,
+            "shed": run.shed,
+            "goodput_rps": run.goodput,
+            "p50_ttft_s": run.p50_ttft,
+            "p99_ttft_s": run.p99_ttft,
+            "migration_chunks": run.migration_chunks,
+            "migration_hit_rate": run.migration_hit_rate,
+            "migration_s_per_chunk": run.migration_s_per_chunk,
+            "iv_observed": run.iv_observed,
+        }
+    return out
+
+
 def run_suite(
     suite: str = "standard",
     seed: int = 1,
@@ -318,6 +358,8 @@ def run_suite(
             # Same rule again: serve runs after everything above so all
             # pre-existing campaign metrics stay bit-identical.
             "serve": _serve_campaign(scale),
+            # And again: disagg appended last for the same reason.
+            "disagg": _disagg_campaign(scale, default_seed(seed)),
         }
     finally:
         set_default_seed(previous_seed)
@@ -370,6 +412,18 @@ def run_suite(
         ),
         "serve_cc_goodput_rps": _key(
             campaigns["serve"]["cc"]["goodput_rps"], True
+        ),
+        "disagg_goodput_rps": _key(
+            campaigns["disagg"]["disagg"]["goodput_rps"], True
+        ),
+        "disagg_p50_ttft_s": _key(
+            campaigns["disagg"]["disagg"]["p50_ttft_s"], False
+        ),
+        "disagg_hit_rate": _key(
+            campaigns["disagg"]["disagg"]["migration_hit_rate"], True
+        ),
+        "disagg_s_per_chunk": _key(
+            campaigns["disagg"]["disagg"]["migration_s_per_chunk"], False
         ),
     }
 

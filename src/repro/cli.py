@@ -20,6 +20,12 @@ Commands:
   ``--rate``, sweep the latency-vs-offered-load frontier per system ×
   admission policy; with ``--rate``, one OpenAI-style streaming run
   with per-request TTFT/TPOT and SLO accounting.
+* ``disagg [--scale ...]`` — disaggregated prefill/decode serving
+  with live encrypted KV-cache migration: without ``--rate``, the
+  full campaign (frontier vs monolithic, speculation recovery,
+  hardware packs, hot-link stress verdicts, crash-mid-migration
+  failover, mispredict storm); with ``--rate`` (or ``--hw-pack``),
+  one summary run under a named hardware calibration.
 * ``bench [--suite standard|smoke] [--out F] [--compare [BASE]]`` —
   the continuous benchmark harness: run the pinned-seed suite, write a
   schema-versioned ``BENCH_<n>.json`` artifact, and/or diff two
@@ -58,6 +64,7 @@ from .bench import (
     ablation_async_decrypt,
     attribution_breakdown,
     cluster_scaling,
+    disagg_frontier,
     fault_campaign,
     parallel_scaling,
     verify_claims,
@@ -77,6 +84,7 @@ from .bench import (
     fig9_threading,
     serve_frontier,
 )
+from .hw import pack_names as hw_pack_names
 
 __all__ = ["EXPERIMENTS", "main"]
 
@@ -98,6 +106,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "ext-zero": extension_zero_offload,
     "cluster": cluster_scaling,
     "serve": serve_frontier,
+    "disagg": disagg_frontier,
     "faults": fault_campaign,
     "parallel": parallel_scaling,
     "attrib": attribution_breakdown,
@@ -200,6 +209,46 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="emit the run summary (or frontier rows) as JSON")
     _add_fastpath_arg(serve)
+
+    disagg = sub.add_parser(
+        "disagg",
+        help="disaggregated prefill/decode serving with live encrypted "
+             "KV-cache migration",
+    )
+    disagg.add_argument("--scale", choices=("quick", "full"), default="quick",
+                        help="campaign size (ignored in single-run mode)")
+    disagg.add_argument("--rate", type=float, default=None, metavar="RPS",
+                        help="offered load for one summary run (omit to "
+                             "run the full campaign)")
+    disagg.add_argument("--duration", type=float, default=8.0, metavar="S",
+                        help="arrival window for a single run (simulated s)")
+    disagg.add_argument("--system", choices=("pipellm", "cc", "native"),
+                        default="pipellm", help="per-worker runtime")
+    disagg.add_argument("--hw-pack", choices=hw_pack_names(), default=None,
+                        metavar="PACK", dest="hw_pack",
+                        help="named hardware calibration for a single run "
+                             "(h100-cc, b300-cc, cpu-tee); implies "
+                             "single-run mode")
+    disagg.add_argument("--prefill", type=int, default=1, metavar="N",
+                        help="prefill workers (0 = monolithic baseline)")
+    disagg.add_argument("--decode", type=int, default=3, metavar="N",
+                        help="decode workers")
+    disagg.add_argument("--policy",
+                        choices=("round-robin", "least-loaded", "affinity"),
+                        default="affinity", help="decode placement policy")
+    disagg.add_argument("--tenants", type=int, default=4, metavar="N")
+    disagg.add_argument("--fail-at", type=float, default=None, metavar="T",
+                        help="crash one worker at simulated time T")
+    disagg.add_argument("--fail-kind", choices=("prefill", "decode"),
+                        default="decode")
+    disagg.add_argument("--fail-index", type=int, default=0, metavar="I")
+    disagg.add_argument("--recover-after", type=float, default=5.0,
+                        metavar="S", help="crash-to-recovery delay "
+                        "(0 = stays down)")
+    disagg.add_argument("--seed", type=int, default=None, metavar="N")
+    disagg.add_argument("--json", action="store_true",
+                        help="emit the run summary (or campaign rows) as JSON")
+    _add_fastpath_arg(disagg)
 
     faults = sub.add_parser(
         "faults",
@@ -612,6 +661,75 @@ def _run_cluster(args, out) -> int:
     return 0
 
 
+def _run_disagg(args, out) -> int:
+    if args.rate is None and args.hw_pack is None:
+        _run_one("disagg", args.scale, out, as_json=args.json)
+        return 0
+
+    from .core import DisaggConfig
+    from .disagg import run_disagg
+
+    config = DisaggConfig(
+        prefill_workers=args.prefill,
+        decode_workers=args.decode,
+        system=args.system,
+        decode_policy=args.policy,
+        hw_pack=args.hw_pack,
+        fail_at=args.fail_at,
+        fail_kind=args.fail_kind,
+        fail_index=args.fail_index,
+        recover_after=args.recover_after,
+        seed=args.seed if args.seed is not None else 42,
+    )
+    rate = args.rate if args.rate is not None else 4.0
+    start = time.time()
+    result = run_disagg(
+        config, rate=rate, duration=args.duration, tenants=args.tenants
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True), file=out)
+        return 0
+    topology = (
+        "monolithic" if result.prefill_workers == 0
+        else f"{result.prefill_workers}p+{result.decode_workers}d"
+    )
+    print(
+        f"disagg: {topology} ({result.system}), "
+        f"pack={args.hw_pack or 'h100-cc'}, rate={rate:g} req/s, "
+        f"{args.tenants} tenants", file=out,
+    )
+    rows = [
+        ("offered / completed / shed",
+         f"{result.offered} / {result.completed} / {result.shed}"),
+        ("goodput", f"{result.goodput:.2f} req/s"),
+        ("TTFT p50 / p99",
+         f"{result.p50_ttft * 1e3:.1f} ms / {result.p99_ttft * 1e3:.1f} ms"),
+        ("latency mean / p99",
+         f"{result.mean_latency * 1e3:.1f} ms / "
+         f"{result.p99_latency * 1e3:.1f} ms"),
+        ("migrations / chunks / resends",
+         f"{result.migrations} / {result.migration_chunks} / "
+         f"{result.migration_resends}"),
+        ("speculation hit rate", f"{result.migration_hit_rate:.3f}"),
+        ("wire per chunk", f"{result.migration_s_per_chunk * 1e6:.1f} us"),
+        ("failovers / resumes / replays",
+         f"{result.failovers} / {result.resumes} / {result.replays}"),
+        ("IVs audited",
+         f"{result.iv_observed} over {result.iv_lanes} lanes "
+         f"({result.migration_links} links)"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"  {label.ljust(width)}  {value}", file=out)
+    util = "  ".join(
+        f"{label}={frac * 100:.0f}%"
+        for label, frac in sorted(result.utilization.items())
+    )
+    print(f"  {'per-worker GPU utilization'.ljust(width)}  {util}", file=out)
+    print(f"[disagg: {time.time() - start:.1f}s]", file=out)
+    return 0
+
+
 def _run_serve(args, out) -> int:
     if args.rate is None:
         _run_one("serve", args.scale, out, as_json=args.json)
@@ -726,6 +844,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _run_cluster(args, out)
     if args.command == "serve":
         return _run_serve(args, out)
+    if args.command == "disagg":
+        return _run_disagg(args, out)
     if args.command == "postmortem":
         return _run_postmortem(args, out)
     if args.command == "bench":

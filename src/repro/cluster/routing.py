@@ -31,13 +31,26 @@ __all__ = [
 
 
 class RoutingPolicy(abc.ABC):
-    """Chooses a replica for one request; None = nothing can take it."""
+    """Chooses a replica for one request; None = nothing can take it.
+
+    Liveness is enforced *inside* every policy: ``choose`` filters the
+    fleet down to live replicas before ranking. Callers (the cluster
+    gateway, the disagg scheduler) may additionally pre-filter for
+    capacity, but a stale fleet list can never steer a tenant at a
+    dead replica — rendezvous reassignment happens at the instant of
+    the crash, not at the next caller-side refresh.
+    """
 
     name = "abstract"
 
+    @staticmethod
+    def live(replicas: Sequence["Replica"]) -> List["Replica"]:
+        """The live subset of a (possibly stale) fleet list."""
+        return [r for r in replicas if getattr(r, "alive", True)]
+
     @abc.abstractmethod
     def choose(self, tenant: str, replicas: Sequence["Replica"]) -> Optional["Replica"]:
-        """Pick among ``replicas`` (pre-filtered to live, non-full)."""
+        """Pick among the live members of ``replicas``."""
 
 
 class RoundRobinPolicy(RoutingPolicy):
@@ -49,6 +62,7 @@ class RoundRobinPolicy(RoutingPolicy):
         self._next = 0
 
     def choose(self, tenant, replicas):
+        replicas = self.live(replicas)
         if not replicas:
             return None
         # Rotate over replica *ids* so a dead replica's slot is skipped
@@ -65,6 +79,7 @@ class LeastLoadedPolicy(RoutingPolicy):
     name = "least-loaded"
 
     def choose(self, tenant, replicas):
+        replicas = self.live(replicas)
         if not replicas:
             return None
         return min(replicas, key=lambda r: (r.outstanding, r.replica_id))
@@ -85,6 +100,11 @@ class AffinityPolicy(RoutingPolicy):
         return int.from_bytes(digest[:8], "big")
 
     def choose(self, tenant, replicas):
+        # Rank only live replicas: a crashed replica must neither hold
+        # its affinity traffic until recovery nor — having drained to
+        # zero outstanding — anchor the overload floor and win the
+        # least-loaded fallback.
+        replicas = self.live(replicas)
         if not replicas:
             return None
         preferred = max(

@@ -1,7 +1,7 @@
 """PipeLLM core: speculative pipelined encryption runtime."""
 
 from .classify import SwapClass, TransferClass, TransferClassifier
-from .config import ClusterConfig, PipeLLMConfig
+from .config import ClusterConfig, DisaggConfig, PipeLLMConfig
 from .patterns import (
     FifoDetector,
     LifoDetector,
@@ -20,6 +20,7 @@ __all__ = [
     "MarkovDetector",
     "PatternDetector",
     "ClusterConfig",
+    "DisaggConfig",
     "PipeLLMConfig",
     "PipeLLMRuntime",
     "PredictionTarget",

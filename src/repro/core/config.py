@@ -9,7 +9,7 @@ from ..faults.plan import FaultPlan
 from ..faults.policies import FaultPolicy
 from .classify import DEFAULT_SWAP_THRESHOLD
 
-__all__ = ["ClusterConfig", "PipeLLMConfig"]
+__all__ = ["ClusterConfig", "DisaggConfig", "PipeLLMConfig"]
 
 
 @dataclass
@@ -140,5 +140,71 @@ class ClusterConfig:
             raise ValueError("max_outstanding must be >= 1")
         if not 0 <= self.fail_replica < self.replicas:
             raise ValueError("fail_replica out of range")
+        if self.recover_after < 0:
+            raise ValueError("recover_after must be non-negative")
+
+
+@dataclass
+class DisaggConfig:
+    """Tunables of the disaggregated prefill/decode serving fleet.
+
+    One config describes the split topology: how many dedicated
+    prefill and decode workers share the simulator, which migration
+    system moves KV caches between them, how decode placement chases
+    KV locality, and the optional worker crash to inject.
+    """
+
+    #: Dedicated prompt-prefill workers. ``0`` selects the monolithic
+    #: baseline: requests go straight to decode workers, which prefill
+    #: inline — serialized with their own decode steps.
+    prefill_workers: int = 1
+    #: Continuous-batching decode workers.
+    decode_workers: int = 3
+    #: Migration/runtime system: "pipellm" (speculative staged IVs),
+    #: "cc" (inline serialized AES-GCM) or "native" (CC off).
+    system: str = "pipellm"
+    #: Decode-placement policy name (see ``CLUSTER_POLICIES``);
+    #: prefill placement is always least-loaded.
+    decode_policy: str = "affinity"
+    #: vLLM-style KV block size (tokens) on each worker.
+    block_size: int = 16
+    #: GPU bytes reserved away from each decode worker's KV pool.
+    reserve_bytes: int = 4 << 30
+    #: Named hardware parameter pack (``repro.hw.get_params``); None
+    #: uses the default H100-CC calibration.
+    hw_pack: Optional[str] = None
+    #: Simulated time at which one worker crashes (None = no fault).
+    fail_at: Optional[float] = None
+    #: Which pool the fault hits: "prefill" or "decode".
+    fail_kind: str = "decode"
+    #: Worker index within that pool.
+    fail_index: int = 0
+    #: Crash-to-recovery delay (seconds); the worker re-attests and
+    #: rejoins as a fresh incarnation.
+    recover_after: float = 5.0
+    #: Workload / payload seed (the CLI ``--seed`` overrides it).
+    seed: int = 42
+    #: Optional fault plan threaded through every worker machine and
+    #: the migration fabric (mispredict storms, chunk drops, random
+    #: worker crashes via ``replica_crash_rate``).
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.prefill_workers < 0:
+            raise ValueError("prefill_workers must be >= 0")
+        if self.decode_workers < 1:
+            raise ValueError("decode_workers must be >= 1")
+        if self.system not in ("pipellm", "cc", "native"):
+            raise ValueError(f"unknown system {self.system!r}")
+        if self.decode_policy not in CLUSTER_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.decode_policy!r}; "
+                f"choose from {CLUSTER_POLICIES}"
+            )
+        if self.fail_kind not in ("prefill", "decode"):
+            raise ValueError("fail_kind must be 'prefill' or 'decode'")
+        pool = self.prefill_workers if self.fail_kind == "prefill" else self.decode_workers
+        if self.fail_at is not None and not 0 <= self.fail_index < pool:
+            raise ValueError("fail_index out of range for its pool")
         if self.recover_after < 0:
             raise ValueError("recover_after must be non-negative")

@@ -1,0 +1,355 @@
+"""Disaggregated fleet orchestration: pools + scheduler + workload.
+
+:class:`DisaggCluster` builds the whole split-serving fleet inside a
+**single shared simulator** — dedicated prefill workers and
+continuous-batching decode workers, each its own attested
+:class:`repro.cc.Machine` incarnation — wires them to a
+:class:`~repro.disagg.migration.MigrationFabric` whose per-link
+AES-GCM sessions all chain off one fleet root key, drives a
+multi-tenant Poisson workload through the migration-aware scheduler,
+optionally crashes a worker mid-flight, and folds everything into a
+:class:`DisaggResult`.
+
+One :class:`~repro.cluster.tenant.ClusterIvAudit` watches every
+migration endpoint ever derived — across crashes, re-attestations and
+resumed migrations — so a completed run *is* the proof that no IV was
+ever reused anywhere on the migration plane.
+
+With ``prefill_workers=0`` the same machinery runs the monolithic
+baseline (inline prefill on the decode pool, no migration), which is
+what the TTFT/goodput comparisons in :mod:`repro.bench.disagg` are
+measured against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cluster import ClusterIvAudit
+from ..cluster.cluster import CLUSTER_TRACE
+from ..core import DisaggConfig
+from ..crypto import hkdf
+from ..faults import FaultInjector
+from ..hw import HardwareParams, get_params
+from ..models import KvGeometry, OPT_13B, ModelSpec
+from ..sim import SeededRng, Simulator, default_seed, mean, percentile
+from ..workloads import TraceSpec, poisson_trace
+from .migration import MigrationFabric
+from .scheduler import DisaggScheduler
+from .workers import DecodeWorker, DisaggRequest, PrefillWorker
+
+__all__ = ["DisaggCluster", "DisaggResult", "run_disagg"]
+
+
+@dataclass
+class DisaggResult:
+    """Everything one disaggregated run measured."""
+
+    prefill_workers: int
+    decode_workers: int
+    system: str
+    duration: float
+    offered: int
+    completed: int
+    shed: int
+    unfinished: int
+    failovers: int
+    replays: int
+    resumes: int
+    crashes: int
+    #: Migration plane: attempts / completions / chunks delivered /
+    #: wire retransmissions / speculation hit rate / encrypted links.
+    migrations: int
+    migrations_completed: int
+    migration_chunks: int
+    migration_resends: int
+    migration_hit_rate: float
+    migration_links: int
+    #: Mean wire seconds per delivered migration chunk (the number the
+    #: speculation-recovery acceptance math runs on).
+    migration_s_per_chunk: float
+    #: Distinct (key, stream) IV lanes audited / total IVs observed.
+    iv_lanes: int
+    iv_observed: int
+    #: Time-to-first-token per completed request (seconds).
+    ttfts: List[float] = field(default_factory=list)
+    #: End-to-end latencies of completed requests (seconds).
+    latencies: List[float] = field(default_factory=list)
+    #: worker label -> GPU-busy fraction of the run.
+    utilization: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def goodput(self) -> float:
+        """Completed requests per simulated second."""
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def p50_ttft(self) -> float:
+        return percentile(self.ttfts, 50)
+
+    @property
+    def p99_ttft(self) -> float:
+        return percentile(self.ttfts, 99)
+
+    @property
+    def mean_ttft(self) -> float:
+        return mean(self.ttfts)
+
+    @property
+    def mean_latency(self) -> float:
+        return mean(self.latencies)
+
+    @property
+    def p99_latency(self) -> float:
+        return percentile(self.latencies, 99)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "prefill_workers": self.prefill_workers,
+            "decode_workers": self.decode_workers,
+            "system": self.system,
+            "duration_s": self.duration,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "unfinished": self.unfinished,
+            "failovers": self.failovers,
+            "replays": self.replays,
+            "resumes": self.resumes,
+            "crashes": self.crashes,
+            "migrations": self.migrations,
+            "migrations_completed": self.migrations_completed,
+            "migration_chunks": self.migration_chunks,
+            "migration_resends": self.migration_resends,
+            "migration_hit_rate": self.migration_hit_rate,
+            "migration_links": self.migration_links,
+            "migration_s_per_chunk": self.migration_s_per_chunk,
+            "iv_lanes": self.iv_lanes,
+            "iv_observed": self.iv_observed,
+            "goodput_rps": self.goodput,
+            "mean_ttft_s": self.mean_ttft,
+            "p50_ttft_s": self.p50_ttft,
+            "p99_ttft_s": self.p99_ttft,
+            "mean_latency_s": self.mean_latency,
+            "p99_latency_s": self.p99_latency,
+            "utilization": dict(self.utilization),
+        }
+
+
+class DisaggCluster:
+    """Prefill + decode pools + migration fabric in one simulator."""
+
+    def __init__(
+        self,
+        config: DisaggConfig,
+        spec: ModelSpec = OPT_13B,
+        params: Optional[HardwareParams] = None,
+    ) -> None:
+        self.config = config
+        self.spec = spec
+        self.params = params or get_params(config.hw_pack or "h100-cc")
+        self.sim = Simulator()
+        self.audit = ClusterIvAudit()
+        self.geometry = KvGeometry(spec, block_size=config.block_size)
+        self.faults: Optional[FaultInjector] = None
+        if config.fault_plan is not None:
+            self.faults = FaultInjector(
+                config.fault_plan, seed=default_seed(config.seed)
+            ).bind(self.sim)
+
+        def child(label: str):
+            return None if self.faults is None else self.faults.child(label)
+
+        self.prefill_pool = [
+            PrefillWorker(
+                self.sim, worker_id=i, spec=spec, system=config.system,
+                block_size=config.block_size, reserve_bytes=config.reserve_bytes,
+                params=self.params, faults=child(f"p{i}"),
+            )
+            for i in range(config.prefill_workers)
+        ]
+        self.decode_pool = [
+            DecodeWorker(
+                self.sim, worker_id=i, spec=spec, system=config.system,
+                block_size=config.block_size, reserve_bytes=config.reserve_bytes,
+                params=self.params, faults=child(f"d{i}"),
+            )
+            for i in range(config.decode_workers)
+        ]
+        # The fleet root key every migration link chains off. Derived,
+        # not random: same seed → same keys → byte-identical replays.
+        fleet_key = hkdf(
+            default_seed(config.seed).to_bytes(8, "big"),
+            salt=b"pipellm-disagg", info=b"fleet-root", length=16,
+        )
+        self.fabric = MigrationFabric(
+            self.sim, fleet_key, self.params, system=config.system,
+            audit=self.audit, faults=self.faults,
+        )
+        self.scheduler = DisaggScheduler(
+            self.sim, self.prefill_pool, self.decode_pool, self.fabric,
+            decode_policy=config.decode_policy,
+        )
+
+    @property
+    def workers(self) -> List:
+        return [*self.prefill_pool, *self.decode_pool]
+
+    # -- workload --------------------------------------------------------
+
+    def workload(
+        self,
+        rate: float,
+        duration: float,
+        tenants: int = 4,
+        trace: TraceSpec = CLUSTER_TRACE,
+        parallel_n: int = 1,
+    ) -> List[DisaggRequest]:
+        """Poisson arrivals spread over ``tenants`` tenants.
+
+        Seeded by the config's seed (overridable process-wide via the
+        CLI ``--seed``), so runs are reproducible end to end. The KV
+        footprint each request will migrate is fixed here, from the
+        prompt alone — decode-side growth never crosses the wire.
+        """
+        rng = SeededRng(default_seed(self.config.seed))
+        requests = poisson_trace(trace, rate, duration, rng, parallel_n=parallel_n)
+        rng_t = rng.fork("tenants")
+        out: List[DisaggRequest] = []
+        for request in requests:
+            tenant = f"tenant-{rng_t.randint(0, tenants - 1)}"
+            out.append(DisaggRequest(
+                rid=request.request_id,
+                tenant=tenant,
+                request=request,
+                submit_time=request.arrival_time,
+                kv_bytes=self.geometry.bytes_for_tokens(request.prompt_len)
+                * request.parallel_n,
+            ))
+        return out
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        requests: List[DisaggRequest],
+        until: Optional[float] = None,
+    ) -> DisaggResult:
+        """Drive ``requests`` through the fleet and summarize the run."""
+        self.sim.process(self._arrivals(sorted(requests, key=lambda c: c.submit_time)))
+        if self.config.fail_at is not None:
+            self.sim.process(self._fault())
+        plan = self.config.fault_plan
+        if self.faults is not None and plan is not None and plan.replica_crash_rate > 0:
+            horizon = plan.stop
+            if horizon is None:
+                horizon = max((c.submit_time for c in requests), default=0.0)
+            self.sim.process(self._fault_plane(horizon))
+        self.sim.run(until=until)
+        return self._result(requests)
+
+    def _arrivals(self, requests: List[DisaggRequest]):
+        for creq in requests:
+            delay = creq.submit_time - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            creq.submit_time = self.sim.now
+            self.scheduler.submit(creq)
+
+    def _fault(self):
+        config = self.config
+        yield self.sim.timeout(config.fail_at)
+        self.scheduler.fail(config.fail_kind, config.fail_index)
+        if config.recover_after > 0:
+            yield self.sim.timeout(config.recover_after)
+            self.scheduler.recover(config.fail_kind, config.fail_index)
+
+    def _fault_plane(self, horizon: float):
+        """Random worker crashes across both pools, plan-paced."""
+        inj = self.faults
+        plan = self.config.fault_plan
+        while True:
+            interval = inj.next_crash_interval()
+            if interval is None or self.sim.now + interval > horizon:
+                return
+            yield self.sim.timeout(interval)
+            if not plan.active(self.sim.now):
+                continue
+            index = inj.pick_replica(len(self.workers))
+            kind = "prefill" if index < len(self.prefill_pool) else "decode"
+            pool_index = index if kind == "prefill" else index - len(self.prefill_pool)
+            pool = self.prefill_pool if kind == "prefill" else self.decode_pool
+            if not pool[pool_index].alive:
+                continue
+            inj.record_crash(index)
+            self.scheduler.fail(kind, pool_index)
+            if plan.replica_recover_after > 0:
+                self.sim.process(self._recover_later(
+                    kind, pool_index, plan.replica_recover_after
+                ))
+
+    def _recover_later(self, kind: str, index: int, delay: float):
+        yield self.sim.timeout(delay)
+        self.scheduler.recover(kind, index)
+
+    def _result(self, requests: List[DisaggRequest]) -> DisaggResult:
+        scheduler = self.scheduler
+        completed = scheduler.completed
+        unfinished = [c for c in requests if c.state not in ("done", "shed")]
+        resolved = [
+            c.finish_time
+            for c in completed + scheduler.shed
+            if not math.isnan(c.finish_time)
+        ]
+        duration = max(resolved) if resolved and not unfinished else self.sim.now
+        stats = self.fabric.stats()
+        chunks = stats["chunks"]
+        shipped = stats["chunks_shipped"]
+        return DisaggResult(
+            prefill_workers=self.config.prefill_workers,
+            decode_workers=self.config.decode_workers,
+            system=self.config.system,
+            duration=duration,
+            offered=len(requests),
+            completed=len(completed),
+            shed=len(scheduler.shed),
+            unfinished=len(unfinished),
+            failovers=scheduler.failovers,
+            replays=scheduler.replays,
+            resumes=scheduler.resumes,
+            crashes=sum(w.crashes for w in self.workers),
+            migrations=stats["migrations"],
+            migrations_completed=stats["completed"],
+            migration_chunks=chunks,
+            migration_resends=stats["resends"],
+            migration_hit_rate=stats["hit_rate"],
+            migration_links=stats["links"],
+            migration_s_per_chunk=(
+                stats["wire_seconds"] / shipped if shipped else 0.0
+            ),
+            iv_lanes=self.audit.keys_seen(),
+            iv_observed=self.audit.observed,
+            ttfts=[c.ttft for c in completed if not math.isnan(c.ttft)],
+            latencies=[c.latency for c in completed if not math.isnan(c.latency)],
+            utilization={
+                w.label: (w.busy_seconds / duration if duration > 0 else 0.0)
+                for w in self.workers
+            },
+        )
+
+
+def run_disagg(
+    config: DisaggConfig,
+    rate: float = 4.0,
+    duration: float = 20.0,
+    tenants: int = 4,
+    spec: ModelSpec = OPT_13B,
+    trace: TraceSpec = CLUSTER_TRACE,
+    params: Optional[HardwareParams] = None,
+) -> DisaggResult:
+    """Build a disagg fleet, generate its workload, run it, fold it up."""
+    cluster = DisaggCluster(config, spec=spec, params=params)
+    return cluster.run(cluster.workload(rate, duration, tenants=tenants, trace=trace))

@@ -1,0 +1,388 @@
+"""Live encrypted KV-cache migration between disaggregated workers.
+
+Disaggregated serving moves every prefilled KV cache from a prefill
+worker's GPU to a decode worker's GPU — tens of megabytes per request,
+on the TTFT critical path. Under confidential computing that movement
+is exactly the traffic PipeLLM was built for: a strictly ordered
+stream of same-sized chunks whose (destination, size) schedule a §5.1
+hypothesis racer learns after one observation.
+
+:class:`MigrationFabric` owns the cluster's migration plane:
+
+* **per-link sessions** — every directed (prefill incarnation →
+  decode incarnation) pair gets its own AES-GCM key and IV streams,
+  chained off the fleet root key via the same HKDF link machinery the
+  multi-GPU interconnect uses (:func:`repro.crypto.handshake.
+  derive_link_session`). A recovered worker is a new incarnation, so
+  post-crash streams can never collide with pre-crash ones — which
+  the cluster-wide :class:`~repro.cluster.tenant.ClusterIvAudit`
+  attached to every endpoint proves.
+* **speculative staging** — :class:`MigrationSpeculator` (the
+  :class:`~repro.parallel.speculate.LinkSpeculator` pattern applied
+  per *source worker*) predicts each chunk's (destination, size); on
+  a hit the chunk ships pre-encrypted under the predicted IV and the
+  wire runs at the CC DMA rate with crypto off the critical path; on
+  a miss the staged ciphertext is discarded *before the wire* and the
+  chunk serializes behind inline AES-GCM, so TX/RX streams never
+  desynchronize.
+* **degradation** — a :class:`~repro.faults.policies.
+  DegradationController` parks speculation under a mispredict storm;
+  parked chunks take the serialized-but-safe path until the
+  time-driven probe re-enables staging.
+
+Per-chunk timing (two CC channel legs: source GPU → source CVM →
+destination CVM → destination GPU; the host-to-host hop rides inside
+the same occupancy, as §7.2 measures end to end):
+
+==========  ==========================================================
+system      seconds per chunk
+==========  ==========================================================
+native      ``2 × ncc_occupancy`` — cleartext DMA at line rate
+cc          ``2 × cc_occupancy`` — inline single-thread AES serialized
+            into every leg (the CC-as-shipped baseline)
+pipellm     hit: ``2 × cc_dma_time`` (pre-staged ciphertext, crypto
+            concurrent); miss: the serialized ``cc`` cost
+==========  ==========================================================
+
+Chunks are padded to :data:`MIGRATION_CHUNK_BYTES` so the predictor's
+(destination, size) key is constant across a migration — the same
+reason real transports pick one MTU and stick to it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.classify import SwapClass, TransferClassifier
+from ..core.predictor import SwapPredictor
+from ..crypto import derive_link_session
+from ..faults.policies import DegradationController, FaultPolicy
+from ..hw import MB, HardwareParams
+from ..sim import Simulator
+from ..tracing import active_collector
+
+__all__ = [
+    "MIGRATION_CHUNK_BYTES",
+    "MigrationFabric",
+    "MigrationRecord",
+    "MigrationSpeculator",
+]
+
+#: Fixed migration transfer unit. One OPT-13B token is ~0.8 MB of KV,
+#: so a 64-token prompt is ~50 chunks — long enough for the repetitive
+#: hypothesis to win after its single cold miss.
+MIGRATION_CHUNK_BYTES = 1 * MB
+
+#: Functional payload bytes per chunk (payload tiering: the cipher
+#: carries these; the chunk's logical size drives all timing).
+_PAYLOAD_BYTES = 16
+
+
+class MigrationSpeculator:
+    """Per-source-worker schedule prediction for migration chunks.
+
+    Mirrors :class:`~repro.parallel.speculate.LinkSpeculator`: each
+    prefill worker's outgoing chunk sequence feeds its own
+    :class:`~repro.core.predictor.SwapPredictor` (a chunk to decode
+    worker *d* of *n* bytes is "swap-in of (d, n)"), with one shared
+    :class:`DegradationController` parking speculation fabric-wide
+    under a mispredict storm. Parked lookups ship nothing staged, so
+    IV streams stay monotone throughout.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        policy: Optional[FaultPolicy] = None,
+        faults=None,
+        warmup: int = 8,
+    ) -> None:
+        self.clock = clock
+        #: Per-source lookups excluded from the degradation EMA — a
+        #: cold detector's first misses say nothing about the fabric.
+        self.warmup = warmup
+        self.faults = faults
+        self.controller = DegradationController(policy or FaultPolicy(), clock)
+        self._classifiers: Dict[str, TransferClassifier] = {}
+        self._predictors: Dict[str, SwapPredictor] = {}
+        self._seen: Dict[str, int] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.parked = 0
+
+    def _predictor(self, src: str) -> SwapPredictor:
+        if src not in self._predictors:
+            # Every chunk is a "swap": threshold 1 keeps the weights
+            # detectors (repetitive/Markov) fed for all of them.
+            classifier = TransferClassifier(swap_threshold=1)
+            self._classifiers[src] = classifier
+            self._predictors[src] = SwapPredictor(classifier)
+        return self._predictors[src]
+
+    def lookup(self, src: str, dst: int, nbytes: int) -> bool:
+        """One chunk is about to migrate: was its crypto pre-arranged?
+
+        Always feeds the observation (the predictor keeps learning
+        while parked); returns True only when the prediction matched
+        *and* the degradation controller currently allows speculation.
+        """
+        self.controller.poll()
+        predictor = self._predictor(src)
+        # Migration streams are strictly ordered, same-sized chunk
+        # trains — the weights-class hypotheses fit exactly.
+        self._classifiers[src].register_weight_size(nbytes)
+        predicted = predictor.predict(1, SwapClass.WEIGHTS)
+        hit = bool(predicted) and predicted[0].key == (dst, nbytes)
+        predictor.observe_swap_in(dst, nbytes)
+        if hit and self.faults is not None and self.faults.migration_mispredict(
+            f"{src}->d{dst}"
+        ):
+            hit = False
+        self.lookups += 1
+        self._seen[src] = self._seen.get(src, 0) + 1
+        if not self.controller.speculation_enabled:
+            self.parked += 1
+            self.misses += 1
+            return False
+        if self._seen[src] > self.warmup:
+            self.controller.observe(hit)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return hit
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class MigrationRecord:
+    """One KV migration attempt, chunk by chunk."""
+
+    rid: int
+    src: str
+    dst: str
+    kv_bytes: int
+    chunks: int
+    start: float
+    end: float = 0.0
+    delivered: int = 0
+    hits: int = 0
+    misses: int = 0
+    resends: int = 0
+    #: "ok" | "src-crashed" | "dst-crashed"
+    status: str = "ok"
+    #: True when this attempt re-ships a retained prefill copy after a
+    #: decode-side crash (no prefill recompute).
+    resumed: bool = False
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "ok" and self.delivered == self.chunks
+
+
+def chunk_payload(rid: int, index: int) -> bytes:
+    """Deterministic functional bytes of one KV chunk.
+
+    Both ends derive the expectation independently, so the receiver
+    can assert bit-exact round-trips without trusting the wire.
+    """
+    return hashlib.sha256(f"kv:{rid}:chunk{index}".encode()).digest()[:_PAYLOAD_BYTES]
+
+
+class _MigrationLink:
+    """One directed encrypted channel between two worker incarnations."""
+
+    def __init__(self, label: str, session, audit) -> None:
+        self.label = label
+        self.tx, self.rx = session.endpoints(
+            cpu_name=f"{label}:tx", gpu_name=f"{label}:rx"
+        )
+        if audit is not None:
+            self.tx.attach_audit(audit)
+            self.rx.attach_audit(audit)
+        #: Wire serialization point: chunks on one directed link go
+        #: back to back, concurrent migrations on it queue.
+        self.busy_until = 0.0
+
+
+class MigrationFabric:
+    """The cluster's KV migration plane: links, crypto, speculation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fleet_key: bytes,
+        params: HardwareParams,
+        system: str = "pipellm",
+        audit=None,
+        faults=None,
+        policy: Optional[FaultPolicy] = None,
+        chunk_bytes: int = MIGRATION_CHUNK_BYTES,
+    ) -> None:
+        if system not in ("native", "cc", "pipellm"):
+            raise ValueError(f"unknown migration system {system!r}")
+        self.sim = sim
+        self.fleet_key = bytes(fleet_key)
+        self.params = params
+        self.system = system
+        self.audit = audit
+        self.faults = faults
+        self.chunk_bytes = chunk_bytes
+        self.speculator: Optional[MigrationSpeculator] = None
+        if system == "pipellm":
+            self.speculator = MigrationSpeculator(
+                clock=lambda: sim.now, policy=policy, faults=faults
+            )
+        self._links: Dict[Tuple[str, str], _MigrationLink] = {}
+        self.records: List[MigrationRecord] = []
+        self.bytes_moved = 0
+        #: Pure wire occupancy (queueing excluded) — the denominator
+        #: of the speculation-recovery acceptance math.
+        self.wire_seconds = 0.0
+        self.chunks_shipped = 0
+
+    # -- links -----------------------------------------------------------
+
+    def link(self, src, dst) -> _MigrationLink:
+        """The directed link between two *incarnations* (cached).
+
+        The label bakes in both epochs, so a crashed-and-recovered
+        worker talks over a freshly keyed channel: HKDF with a new
+        info string yields a new AES-GCM key and new starting IVs,
+        and the old incarnation's lanes simply stop moving.
+        """
+        src_label = f"{src.label}.e{src.epoch}"
+        dst_label = f"{dst.label}.e{dst.epoch}"
+        key = (src_label, dst_label)
+        if key not in self._links:
+            label = f"migrate:{src_label}->{dst_label}"
+            session = derive_link_session(self.fleet_key, label)
+            self._links[key] = _MigrationLink(label, session, self.audit)
+        return self._links[key]
+
+    # -- per-chunk timing -------------------------------------------------
+
+    def chunk_seconds(self, staged: bool) -> float:
+        """Wire occupancy of one chunk (two CC channel legs)."""
+        p, n = self.params, self.chunk_bytes
+        if self.system == "native":
+            return 2.0 * p.ncc_occupancy(n)
+        if staged:
+            return 2.0 * p.cc_dma_time(n)
+        return 2.0 * p.cc_occupancy(n)
+
+    # -- migration -------------------------------------------------------
+
+    def migrate(self, creq, src, dst, resumed: bool = False):
+        """Ship one request's KV cache ``src`` → ``dst`` (a process).
+
+        Yields simulator timeouts; returns the :class:`MigrationRecord`
+        (via ``yield from``). Aborts — without crashing the process —
+        the moment either incarnation dies, leaving ``status`` set so
+        the scheduler can pick resume vs replay.
+        """
+        chunks = max(1, -(-creq.kv_bytes // self.chunk_bytes))
+        src_epoch, dst_epoch = src.epoch, dst.epoch
+        link = self.link(src, dst)
+        record = MigrationRecord(
+            rid=creq.rid, src=link.label.split("->")[0][len("migrate:"):],
+            dst=f"{dst.label}.e{dst.epoch}", kv_bytes=creq.kv_bytes,
+            chunks=chunks, start=self.sim.now, resumed=resumed,
+        )
+        self.records.append(record)
+        collector = active_collector()
+        span = None
+        if collector is not None and creq.trace is not None:
+            span = collector.begin(
+                creq.trace, f"migrate:{src.label}->{dst.label}", "migration",
+                "fabric", self.sim.now,
+            )
+        for index in range(chunks):
+            if not (src.alive and src.epoch == src_epoch):
+                record.status = "src-crashed"
+                break
+            if not (dst.alive and dst.epoch == dst_epoch):
+                record.status = "dst-crashed"
+                break
+            staged = False
+            if self.speculator is not None:
+                staged = self.speculator.lookup(
+                    f"{src.label}.e{src_epoch}", dst.worker_id, self.chunk_bytes
+                )
+            payload = chunk_payload(creq.rid, index)
+            if self.system == "native":
+                message = None
+            elif staged:
+                # The §5.1 staged fast path, verbatim from the
+                # interconnect: encrypt under the guessed counter,
+                # commit when the ciphertext actually ships, and the
+                # committed counter MUST equal the guess (a mismatch
+                # here would silently desync the streams).
+                predicted = link.tx.tx_iv.current
+                message = link.tx.encrypt_with_iv(
+                    payload, predicted, nbytes_logical=self.chunk_bytes
+                )
+                committed = link.tx.commit_tx_iv()
+                assert committed == predicted, "staged migration IV desynced"
+            else:
+                # Serialized: inline encryption consumes the next IV
+                # on the spot; any discarded staged ciphertext never
+                # touched the wire, so nothing desyncs.
+                message = link.tx.encrypt_next(
+                    payload, nbytes_logical=self.chunk_bytes
+                )
+            seconds = self.chunk_seconds(staged)
+            if self.faults is not None and self.faults.migration_drop(link.label):
+                # Wire loss: retransmit the SAME ciphertext — the IV
+                # was consumed exactly once, only occupancy doubles.
+                seconds += self.chunk_seconds(staged=False)
+                record.resends += 1
+            start = max(self.sim.now, link.busy_until)
+            link.busy_until = start + seconds
+            self.wire_seconds += seconds
+            self.chunks_shipped += 1
+            yield self.sim.timeout(link.busy_until - self.sim.now)
+            if not (dst.alive and dst.epoch == dst_epoch):
+                record.status = "dst-crashed"
+                break
+            if message is not None:
+                plain = link.rx.decrypt_next(message)
+                assert plain == payload, "migrated KV chunk corrupted"
+            record.delivered += 1
+            record.hits += int(staged)
+            record.misses += int(message is not None and not staged)
+            self.bytes_moved += self.chunk_bytes
+        record.end = self.sim.now
+        if span is not None:
+            collector.end(
+                span, self.sim.now,
+                status="ok" if record.complete else record.status,
+            )
+        return record
+
+    # -- stats -----------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        return self.speculator.hit_rate if self.speculator is not None else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        done = [r for r in self.records if r.complete]
+        return {
+            "migrations": len(self.records),
+            "completed": len(done),
+            "resumed": sum(1 for r in self.records if r.resumed),
+            "chunks": sum(r.delivered for r in self.records),
+            "resends": sum(r.resends for r in self.records),
+            "bytes": self.bytes_moved,
+            "hit_rate": self.hit_rate,
+            "links": len(self._links),
+            "wire_seconds": self.wire_seconds,
+            "chunks_shipped": self.chunks_shipped,
+        }

@@ -52,7 +52,8 @@ class FaultInjector:
         self._rng: Dict[str, SeededRng] = {
             domain: root.fork(domain)
             for domain in (
-                "pcie", "engine", "crypto", "validator", "cluster", "interconnect",
+                "pcie", "engine", "crypto", "validator", "cluster",
+                "interconnect", "migration",
             )
         }
         self.sim: Optional[Simulator] = None
@@ -214,6 +215,26 @@ class FaultInjector:
             return False
         if self._rng["interconnect"].random() < self.plan.link_mispredict_rate:
             self._fire("interconnect", "link-mispredict", link)
+            return True
+        return False
+
+    # -- KV migration ----------------------------------------------------
+
+    def migration_mispredict(self, link: str) -> bool:
+        """Should this speculated migration chunk be forced into a miss?"""
+        if not self._live() or self.plan.migration_mispredict_rate <= 0.0:
+            return False
+        if self._rng["migration"].random() < self.plan.migration_mispredict_rate:
+            self._fire("migration", "migration-mispredict", link)
+            return True
+        return False
+
+    def migration_drop(self, link: str) -> bool:
+        """Should this migration chunk be lost on the wire (resend)?"""
+        if not self._live() or self.plan.migration_drop_rate <= 0.0:
+            return False
+        if self._rng["migration"].random() < self.plan.migration_drop_rate:
+            self._fire("migration", "migration-drop", link)
             return True
         return False
 

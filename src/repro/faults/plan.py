@@ -31,6 +31,8 @@ _RATE_FIELDS = (
     "link_jitter_rate",
     "link_drop_rate",
     "link_mispredict_rate",
+    "migration_mispredict_rate",
+    "migration_drop_rate",
 )
 
 
@@ -89,6 +91,14 @@ class FaultPlan:
     #: modeling a wrong collective-schedule prediction.
     link_mispredict_rate: float = 0.0
 
+    # -- KV migration (repro.disagg) ------------------------------------
+    #: Probability one speculated migration chunk is forced into a
+    #: miss, modeling a wrong migration-schedule prediction.
+    migration_mispredict_rate: float = 0.0
+    #: Probability one migration chunk is lost on the wire and must be
+    #: retransmitted (same ciphertext — no IV is ever re-consumed).
+    migration_drop_rate: float = 0.0
+
     # -- cluster (repro.cluster) ----------------------------------------
     #: Poisson rate of replica crashes (crashes per simulated second).
     replica_crash_rate: float = 0.0
@@ -144,6 +154,24 @@ class FaultPlan:
             mispredict_rate=rate,
             iv_desync_rate=rate / 4.0,
             tag_corrupt_rate=rate / 4.0,
+        )
+
+    @classmethod
+    def migration_storm(cls, rate: float, start: float = 0.0,
+                        stop: Optional[float] = None) -> "FaultPlan":
+        """A KV-migration storm at ``rate`` (the disagg campaign shape).
+
+        ``rate`` drives forced migration mispredictions so staged
+        chunks keep falling back to the serialized path; wire drops
+        ride along at a quarter of it to exercise the retransmission
+        path (same ciphertext, no fresh IV).
+        """
+        return cls(
+            name=f"migration-storm-{rate:g}",
+            start=start,
+            stop=stop,
+            migration_mispredict_rate=rate,
+            migration_drop_rate=rate / 4.0,
         )
 
     @classmethod

@@ -5,7 +5,17 @@ from .engine import CryptoEngine
 from .gpu import GpuEnclave, GpuOutOfMemory
 from .interconnect import Interconnect, LinkRecord
 from .memory import AccessViolation, HostMemory, MemoryChunk, PageFault, Region
-from .params import GB, KB, MB, GpuComputeParams, HardwareParams, default_params
+from .params import (
+    GB,
+    HW_PACKS,
+    KB,
+    MB,
+    GpuComputeParams,
+    HardwareParams,
+    default_params,
+    get_params,
+    pack_names,
+)
 from .pcie import BusRecord, PcieLink
 
 __all__ = [
@@ -17,6 +27,7 @@ __all__ = [
     "GpuComputeParams",
     "GpuEnclave",
     "GpuOutOfMemory",
+    "HW_PACKS",
     "HardwareParams",
     "HostMemory",
     "Interconnect",
@@ -28,4 +39,6 @@ __all__ = [
     "PcieLink",
     "Region",
     "default_params",
+    "get_params",
+    "pack_names",
 ]

@@ -28,8 +28,16 @@ depends on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List
 
-__all__ = ["HardwareParams", "GpuComputeParams", "default_params"]
+__all__ = [
+    "HW_PACKS",
+    "HardwareParams",
+    "GpuComputeParams",
+    "default_params",
+    "get_params",
+    "pack_names",
+]
 
 KB = 1024
 MB = 1024 * KB
@@ -157,3 +165,95 @@ class HardwareParams:
 def default_params() -> HardwareParams:
     """The calibrated H100-SXM / PCIe 5.0 testbed configuration."""
     return HardwareParams()
+
+
+def _h100_cc() -> HardwareParams:
+    """Hopper GPU-CC: the paper's own H100 calibration (the default)."""
+    return HardwareParams()
+
+
+def _b300_cc() -> HardwareParams:
+    """Blackwell-generation GPU-CC: the serialized-bridge regime.
+
+    "The Serialized Bridge" (2026) reports that Blackwell CC keeps
+    GPU-local kernels at full speed (bigger roofline, faster HBM) and
+    moves the pain entirely to the host↔GPU bridge: the PCIe 6.0 link
+    is twice as fast in the clear, but the CC data path still funnels
+    through a serialized bounce whose ceiling barely moves. Relative
+    to `h100-cc` the compute:transfer ratio therefore *widens* — the
+    same workloads become bridge-bound rather than encryption-bound,
+    which is exactly the shape migration-heavy disaggregation probes.
+    """
+    return HardwareParams(
+        pcie_bandwidth=100e9,
+        dma_overhead=2.2e-6,
+        p2p_bandwidth=360e9,
+        p2p_latency=1.5e-6,
+        cc_control_latency=11.0e-6,
+        enc_bandwidth_per_thread=8.2e9,
+        dec_bandwidth_per_thread=8.2e9,
+        cc_dma_bandwidth=52e9,
+        gpu_memory_bytes=192 * GB,
+        host_memory_bytes=512 * GB,
+        gpu=GpuComputeParams(
+            flops=900e12,
+            hbm_bandwidth=6.5e12,
+            kernel_overhead=20e-6,
+        ),
+    )
+
+
+def _cpu_tee() -> HardwareParams:
+    """CPU TEE (TDX/SEV-SNP class): no accelerator, no bounce bridge.
+
+    Follows the ETH CPU/GPU-TEE cost study (2025): compute drops by
+    two orders of magnitude versus an H100 (AMX-class matmul over DDR5
+    instead of tensor cores over HBM), while "transfers" collapse to
+    in-package memcpys — high bandwidth, microsecond-free control
+    plane, and encryption at the same per-thread AES-GCM rate as ever.
+    Confidential data movement is cheap here; cycles are the frontier.
+    """
+    return HardwareParams(
+        pcie_bandwidth=180e9,
+        dma_overhead=0.4e-6,
+        api_latency_ncc=0.3e-6,
+        p2p_bandwidth=180e9,
+        p2p_latency=0.4e-6,
+        cc_control_latency=2.0e-6,
+        cc_stream_overhead=0.8e-6,
+        enc_bandwidth_per_thread=6.39e9,
+        dec_bandwidth_per_thread=6.39e9,
+        cc_dma_bandwidth=120e9,
+        gpu_memory_bytes=128 * GB,
+        host_memory_bytes=512 * GB,
+        gpu=GpuComputeParams(
+            flops=4e12,
+            hbm_bandwidth=0.31e12,
+            kernel_overhead=4e-6,
+        ),
+    )
+
+
+#: Named hardware parameter packs — one per TEE hardware generation
+#: (ROADMAP item 2). Factories, not instances, so every caller gets a
+#: fresh frozen dataclass to `with_overrides` from.
+HW_PACKS: Dict[str, Callable[[], HardwareParams]] = {
+    "h100-cc": _h100_cc,
+    "b300-cc": _b300_cc,
+    "cpu-tee": _cpu_tee,
+}
+
+
+def get_params(name: str) -> HardwareParams:
+    """Instantiate a named hardware pack from the registry."""
+    try:
+        return HW_PACKS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown hardware pack {name!r}; choose from {sorted(HW_PACKS)}"
+        ) from None
+
+
+def pack_names() -> List[str]:
+    """Registry pack names, sorted for deterministic CLI help."""
+    return sorted(HW_PACKS)

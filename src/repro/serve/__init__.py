@@ -27,6 +27,7 @@ from .frontend import ServeFrontend, ServeResult, run_serve
 from .load import DEFAULT_TIER_MIX, LoadSpec, generate_load, production_rate
 from .pipeline import (
     ClusterPipeline,
+    DisaggPipeline,
     FlexGenPipeline,
     PeftPipeline,
     ServingPipeline,
@@ -39,6 +40,7 @@ __all__ = [
     "DEFAULT_TIER_MIX",
     "AdmissionPolicy",
     "ClusterPipeline",
+    "DisaggPipeline",
     "CompletionRequest",
     "CompletionResponse",
     "FifoAdmission",

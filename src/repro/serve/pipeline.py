@@ -26,6 +26,7 @@ from .load import LoadSpec
 __all__ = [
     "ServingPipeline",
     "ClusterPipeline",
+    "DisaggPipeline",
     "VllmPipeline",
     "FlexGenPipeline",
     "PeftPipeline",
@@ -87,6 +88,46 @@ class ClusterPipeline(ServingPipeline):
         for response in self.last_result.responses:
             for chunk in response.chunks:
                 yield chunk
+
+
+class DisaggPipeline(ServingPipeline):
+    """Disaggregated prefill/decode serving with encrypted KV migration.
+
+    Maps a load spec straight onto :func:`repro.disagg.run_disagg`:
+    rate × duration drive the Poisson workload, the trace spec rides
+    through unchanged, and the returned metrics surface the migration
+    plane (chunks, hit rate, per-chunk wire seconds) alongside the
+    TTFT/goodput numbers the capability tables compare.
+    """
+
+    id = "disagg"
+    capabilities = {"streaming": False, "migration": True, "failover": True}
+
+    def __init__(self, config=None) -> None:
+        from ..core import DisaggConfig
+
+        self.config = config if config is not None else DisaggConfig()
+        self.last_result = None
+
+    def serve(self, load: LoadSpec) -> Dict[str, Any]:
+        from ..disagg import run_disagg
+
+        self.last_result = run_disagg(
+            self.config, rate=load.rate, duration=load.duration,
+            trace=load.trace,
+        )
+        result = self.last_result
+        return {
+            "pipeline": self.id,
+            "system": self.config.system,
+            "completed": result.completed,
+            "goodput_rps": result.goodput,
+            "p50_ttft_s": result.p50_ttft,
+            "p99_ttft_s": result.p99_ttft,
+            "migration_chunks": result.migration_chunks,
+            "migration_hit_rate": result.migration_hit_rate,
+            "migration_s_per_chunk": result.migration_s_per_chunk,
+        }
 
 
 class VllmPipeline(ServingPipeline):
@@ -198,6 +239,7 @@ def make_pipeline(name: str, **kwargs: Any) -> ServingPipeline:
     """Resolve one pipeline by id."""
     table = {
         "cluster": ClusterPipeline,
+        "disagg": DisaggPipeline,
         "vllm": VllmPipeline,
         "flexgen": FlexGenPipeline,
         "peft": PeftPipeline,

@@ -22,8 +22,9 @@ call.
 orphan parents, no dangling open spans — even across crash/failover),
 and :func:`fleet_attribution` rolls per-trace critical paths up into
 per-stage-class time and a bottleneck verdict (encryption-bound /
-bridge-bound / pcie-bound / compute-bound / queue-bound) that
-generalizes the Fig. 2 logic from one machine to the whole fleet.
+bridge-bound / migration-bound / pcie-bound / compute-bound /
+queue-bound) that generalizes the Fig. 2 logic from one machine to
+the whole fleet.
 """
 
 from __future__ import annotations
@@ -50,8 +51,9 @@ __all__ = [
 #: Span stage → attribution class. The classes are the fleet-level
 #: buckets the verdict logic reasons over: CPU AES-GCM waits ("aes"),
 #: host↔GPU wire time ("pcie"), the CC bounce bridge between GPUs
-#: ("bridge"), GPU busy time ("compute") and every form of waiting
-#: for a turn ("queueing"). Unknown stages land in "other".
+#: ("bridge"), encrypted KV-cache movement between disaggregated
+#: workers ("migration"), GPU busy time ("compute") and every form of
+#: waiting for a turn ("queueing"). Unknown stages land in "other".
 STAGE_CLASSES: Dict[str, str] = {
     "encrypt": "aes",
     "decrypt": "aes",
@@ -62,6 +64,8 @@ STAGE_CLASSES: Dict[str, str] = {
     "wire-order": "pcie",
     "transfer": "pcie",
     "interconnect": "bridge",
+    "migration": "migration",
+    "kv-chunk": "migration",
     "compute": "compute",
     "step": "compute",
     "queue": "queueing",
@@ -75,6 +79,7 @@ STAGE_CLASSES: Dict[str, str] = {
 CLASS_VERDICTS: Tuple[Tuple[str, str], ...] = (
     ("aes", "encryption-bound"),
     ("bridge", "bridge-bound"),
+    ("migration", "migration-bound"),
     ("compute", "compute-bound"),
     ("pcie", "pcie-bound"),
     ("queueing", "queue-bound"),

@@ -66,6 +66,20 @@ class TestReplay:
         )
         assert first == second
 
+    def test_disagg_replays_identically(self):
+        first, second = twice(
+            "disagg", "--rate", "6", "--duration", "1.5", "--seed", "9",
+            "--json",
+        )
+        assert first == second
+
+    def test_disagg_hw_pack_replays_identically(self):
+        first, second = twice(
+            "disagg", "--hw-pack", "b300-cc", "--rate", "4", "--duration",
+            "1.5", "--seed", "9", "--json",
+        )
+        assert first == second
+
     def test_serve_seed_changes_the_run(self):
         _, first = run_cli("serve", "--rate", "12", "--duration", "2",
                            "--seed", "21", "--json")
@@ -132,6 +146,13 @@ class TestCrossProfileReplay:
     def test_serve(self):
         ref, fast = self.across_profiles(
             "serve", "--rate", "12", "--duration", "2", "--seed", "21", "--json",
+        )
+        assert ref == fast
+
+    def test_disagg(self):
+        ref, fast = self.across_profiles(
+            "disagg", "--rate", "6", "--duration", "1.5", "--seed", "9",
+            "--json",
         )
         assert ref == fast
 

@@ -88,6 +88,56 @@ class TestAffinity:
         assert fallback.replica_id != preferred
         assert fallback.outstanding == 0
 
+    def test_crashed_preferred_replica_is_skipped(self):
+        # Rendezvous reassignment must happen the moment the preferred
+        # replica dies — not only once some caller remembers to filter
+        # the fleet. A stale (unfiltered) fleet list must never keep
+        # steering a tenant at a dead replica until recovery.
+        policy = AffinityPolicy()
+        fleet = [StubReplica(i) for i in range(4)]
+        preferred = policy.choose("tenant-a", fleet).replica_id
+        for replica in fleet:
+            if replica.replica_id == preferred:
+                replica.alive = False
+        rerouted = policy.choose("tenant-a", fleet)
+        assert rerouted is not None and rerouted.alive
+        assert rerouted.replica_id != preferred
+        # The re-map is the same one a pre-filtered survivor set yields,
+        # so per-tenant homes stay consistent across call sites.
+        survivors = [r for r in fleet if r.alive]
+        assert rerouted.replica_id == policy.choose("tenant-a", survivors).replica_id
+
+    def test_dead_replica_never_anchors_overload_fallback(self):
+        # A crashed replica drains to zero outstanding, so with it left
+        # in the fleet list it both drags the overload floor down and
+        # "wins" the least-loaded fallback — steering overflow traffic
+        # at a corpse.
+        policy = AffinityPolicy()
+        fleet = [StubReplica(0, outstanding=0, alive=False)] + [
+            StubReplica(i, outstanding=policy.overload_slack + 2)
+            for i in range(1, 4)
+        ]
+        chosen = policy.choose("tenant-b", fleet)
+        assert chosen is not None and chosen.alive
+
+    def test_all_dead_fleet_returns_none(self):
+        policy = AffinityPolicy()
+        fleet = [StubReplica(i, alive=False) for i in range(3)]
+        assert policy.choose("tenant-c", fleet) is None
+
+
+class TestLivenessFiltering:
+    def test_round_robin_skips_dead(self):
+        policy = RoundRobinPolicy()
+        fleet = [StubReplica(0), StubReplica(1, alive=False), StubReplica(2)]
+        picks = [policy.choose("t", fleet).replica_id for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_least_loaded_skips_dead(self):
+        policy = LeastLoadedPolicy()
+        fleet = [StubReplica(0, 0, alive=False), StubReplica(1, 3), StubReplica(2, 1)]
+        assert policy.choose("t", fleet).replica_id == 2
+
 
 class TestRegistry:
     def test_make_policy(self):

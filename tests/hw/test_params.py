@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hw import HardwareParams, KB, MB, default_params
+from repro.hw import HW_PACKS, HardwareParams, KB, MB, default_params, get_params, pack_names
 
 
 @pytest.fixture
@@ -73,3 +73,46 @@ class TestDerivedCosts:
 
     def test_gpu_memory_is_80gb(self, params):
         assert params.gpu_memory_bytes == 80 * (1 << 30)
+
+
+class TestHardwarePacks:
+    def test_registry_names(self):
+        assert pack_names() == ["b300-cc", "cpu-tee", "h100-cc"]
+        assert set(HW_PACKS) == set(pack_names())
+
+    def test_h100_pack_is_the_default_calibration(self):
+        assert get_params("h100-cc") == default_params()
+
+    def test_unknown_pack(self):
+        with pytest.raises(ValueError, match="unknown hardware pack"):
+            get_params("tpu-v9")
+
+    def test_packs_are_fresh_instances(self):
+        a, b = get_params("b300-cc"), get_params("b300-cc")
+        assert a == b and a is not b
+
+    def test_b300_serialized_bridge_shape(self):
+        """Blackwell: GPU-local speed up, CC bridge ceiling ~flat.
+
+        The compute:bridge ratio must widen versus H100 — that is the
+        entire point of the pack (bridge-bound, not encryption-bound).
+        """
+        h100, b300 = get_params("h100-cc"), get_params("b300-cc")
+        assert b300.gpu.flops > 2 * h100.gpu.flops
+        assert b300.gpu.hbm_bandwidth > 2 * h100.gpu.hbm_bandwidth
+        assert b300.pcie_bandwidth > h100.pcie_bandwidth
+        # The serialized CC bridge barely moves between generations...
+        assert b300.cc_dma_bandwidth < 1.2 * h100.cc_dma_bandwidth
+        # ...so the clear-vs-CC bridge gap widens.
+        h100_gap = h100.pcie_bandwidth / h100.cc_dma_bandwidth
+        b300_gap = b300.pcie_bandwidth / b300.cc_dma_bandwidth
+        assert b300_gap > h100_gap
+
+    def test_cpu_tee_compute_bound_shape(self):
+        """CPU TEE: transfers nearly free, compute the frontier."""
+        h100, tee = get_params("h100-cc"), get_params("cpu-tee")
+        assert tee.gpu.flops < h100.gpu.flops / 50
+        assert tee.cc_control_latency < h100.cc_control_latency / 4
+        assert tee.cc_dma_bandwidth > h100.cc_dma_bandwidth
+        # Data movement under CC is cheaper than H100's *clear* path.
+        assert tee.cc_dma_time(1 * MB) < h100.ncc_occupancy(1 * MB)

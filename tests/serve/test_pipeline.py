@@ -5,6 +5,7 @@ import pytest
 from repro.core import ClusterConfig
 from repro.serve import (
     ClusterPipeline,
+    DisaggPipeline,
     FlexGenPipeline,
     LoadSpec,
     PeftPipeline,
@@ -38,9 +39,15 @@ class TestCapabilities:
     def test_ids_are_distinct(self):
         ids = {
             cls.id
-            for cls in (ClusterPipeline, VllmPipeline, FlexGenPipeline, PeftPipeline)
+            for cls in (ClusterPipeline, DisaggPipeline, VllmPipeline,
+                        FlexGenPipeline, PeftPipeline)
         }
-        assert len(ids) == 4
+        assert len(ids) == 5
+
+    def test_disagg_advertises_migration_failover(self):
+        assert DisaggPipeline.capabilities["migration"]
+        assert DisaggPipeline.capabilities["failover"]
+        assert not DisaggPipeline.capabilities["streaming"]
 
     def test_non_streaming_pipeline_refuses_to_stream(self):
         with pytest.raises(NotImplementedError):
@@ -86,10 +93,18 @@ class TestOfflineAdapters:
         assert doc["steps"] == 2
         assert doc["step_time_s"] > 0.0
 
+    def test_disagg_adapter_surfaces_the_migration_plane(self):
+        doc = DisaggPipeline().serve(LoadSpec(rate=4.0, duration=1.5))
+        assert doc["pipeline"] == "disagg"
+        assert doc["completed"] > 0
+        assert doc["migration_chunks"] > 0
+        assert doc["migration_hit_rate"] > 0.0
+        assert doc["migration_s_per_chunk"] > 0.0
+
 
 class TestFactory:
     def test_resolves_by_id(self):
-        for name in ("cluster", "vllm", "flexgen", "peft"):
+        for name in ("cluster", "disagg", "vllm", "flexgen", "peft"):
             pipeline = make_pipeline(name)
             assert isinstance(pipeline, ServingPipeline)
             assert pipeline.id == name
